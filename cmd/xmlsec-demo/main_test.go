@@ -1,0 +1,104 @@
+package main
+
+// Golden-ish tests for the demo binary: every section must run cleanly and
+// print the load-bearing facts of the paper artifact it reproduces.
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("section failed: %v\noutput so far:\n%s", errRun, out)
+	}
+	return out
+}
+
+func TestFigures(t *testing.T) {
+	cases := []struct {
+		fig  int
+		want []string
+	}{
+		{1, []string{"RESTRICTED", "pneumonia", "structure is preserved"}},
+		{2, []string{"patients", "otolaryngology", "child(", "document"}},
+		{3, []string{"isa(beaufort): beaufort, secretary, staff", "isa(robert): patient, robert"}},
+	}
+	for _, tc := range cases {
+		out := capture(t, func() error { return runFigure(tc.fig) })
+		for _, want := range tc.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("figure %d output missing %q:\n%s", tc.fig, want, out)
+			}
+		}
+	}
+	if err := runFigure(9); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		want []string
+	}{
+		{"rename", []string{"department", "selected=2 applied=2"}},
+		{"update", []string{"pharyngitis"}},
+		{"append", []string{"albert", "cardiology", "created=4"}},
+		{"remove", []string{"removed=2"}},
+		{"policy", []string{"rule(accept,read", "beaufort", "laporte", "read=12"}},
+		{"views", []string{"RESTRICTED", "View for robert", "pneumonia"}},
+		{"covert", []string{"LEAK: 2 employees", "selected=0 applied=0"}},
+		{"writes", []string{"DENIED", "applied", "roberto"}},
+		{"logic", []string{"node_view(", "RESTRICTED"}},
+		{"xslt", []string{"as laporte", `dx="tonsillitis"`, `dx="RESTRICTED"`, `who="RESTRICTED"`}},
+	}
+	for _, tc := range cases {
+		out := capture(t, func() error { return runExample(tc.name) })
+		for _, want := range tc.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("example %s output missing %q:\n%s", tc.name, want, out)
+			}
+		}
+	}
+	if err := runExample("nonsense"); err == nil {
+		t.Error("unknown example accepted")
+	}
+}
+
+// TestRemoveExampleLeavesNoDiagnosis pins the §3.4.3 post-state precisely.
+func TestRemoveExampleLeavesNoDiagnosis(t *testing.T) {
+	out := capture(t, func() error { return runExample("remove") })
+	// After the op, franck must have no diagnosis line under his subtree in
+	// the "After" sketch, while robert keeps his.
+	after := out[strings.Index(out, "After"):]
+	franckPart := after[strings.Index(after, "franck"):strings.Index(after, "robert")]
+	if strings.Contains(franckPart, "diagnosis") {
+		t.Errorf("franck still has a diagnosis after remove:\n%s", after)
+	}
+	robertPart := after[strings.Index(after, "robert"):]
+	if !strings.Contains(robertPart, "diagnosis") {
+		t.Errorf("robert lost his diagnosis:\n%s", after)
+	}
+}

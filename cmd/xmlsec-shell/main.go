@@ -1,0 +1,80 @@
+// Command xmlsec-shell is an interactive shell over the secure XML
+// database: log in as a subject, query your view, and run XUpdate
+// operations under the paper's access controls. The command interpreter
+// lives in internal/shell.
+//
+// Usage:
+//
+//	xmlsec-shell            # start with the paper's hospital scenario
+//	xmlsec-shell -empty     # start with an empty database
+//	xmlsec-shell -load f.xml
+//
+// Type "help" at the prompt for commands.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"securexml/internal/core"
+	"securexml/internal/scenario"
+	"securexml/internal/shell"
+)
+
+func main() {
+	empty := flag.Bool("empty", false, "start with an empty database")
+	load := flag.String("load", "", "load an XML document at startup")
+	flag.Parse()
+
+	db := core.New()
+	if !*empty && *load == "" {
+		if err := scenario.Setup(db); err != nil {
+			fatal(err)
+		}
+		fmt.Println("Loaded the paper's hospital scenario.")
+		fmt.Println("Users: beaufort (secretary), laporte (doctor), richard (epidemiologist), robert, franck (patients).")
+	}
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		err = db.LoadXML(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Loaded %s.\n", *load)
+	}
+	fmt.Println(`Type "help" for commands.`)
+
+	sh := shell.New(db, os.Stdout)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for {
+		if user := sh.User(); user != "" {
+			fmt.Printf("%s> ", user)
+		} else {
+			fmt.Print("> ")
+		}
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.Execute(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlsec-shell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package securexml is a secure XML database implementing Gabillon's formal
+// access control model for XML databases (VLDB Workshop on Secure Data
+// Management, 2005): XPath as query language, XUpdate as modification
+// language, position/read/insert/update/delete privileges with
+// timestamp-priority rules, per-user views with RESTRICTED labels, and
+// write operations evaluated on views rather than on the source database.
+//
+// The implementation lives in internal/ packages (see DESIGN.md for the
+// full inventory); the user-facing entry point is internal/core's Database
+// and Session types, exercised by the binaries under cmd/ and the programs
+// under examples/.
+//
+// The benchmarks in bench_test.go regenerate the performance study
+// documented in EXPERIMENTS.md.
+package securexml

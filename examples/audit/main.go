@@ -1,0 +1,88 @@
+// Audit: run a mixed workload of permitted and refused operations and then
+// read the database's audit trail — what a security officer reviewing the
+// paper's model in production would look at. Refusals are not errors (the
+// model degrades to partial application, §4.4.2), so the audit log is where
+// denied intent becomes visible.
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securexml/internal/core"
+	"securexml/internal/policy"
+	"securexml/internal/xupdate"
+)
+
+func main() {
+	db := core.New(core.WithAuditLimit(100))
+	steps := []error{
+		db.LoadXMLString(`<vault><entry level="public">weather</entry><entry level="secret">launch codes</entry></vault>`),
+		db.AddRole("analyst"),
+		db.AddRole("admin", "analyst"),
+		db.AddUser("eve", "analyst"),
+		db.AddUser("root", "admin"),
+		// Everyone reads structure; only admin reads secret entries.
+		db.Grant(policy.Read, "/descendant-or-self::node()", "analyst"),
+		db.Grant(policy.Read, "//@* | //@*/node()", "analyst"),
+		db.Revoke(policy.Read, "//entry[@level = 'secret']/node()", "analyst"),
+		db.Grant(policy.Read, "//entry[@level = 'secret']/node()", "admin"),
+		db.Grant(policy.Update, "//entry/node()", "admin"),
+		db.Grant(policy.Delete, "//entry", "admin"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	eve, err := db.Session("eve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := db.Session("root")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed workload.
+	if _, err := eve.Query("//entry"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eve.Query("//entry[@level = 'secret']"); err != nil {
+		log.Fatal(err)
+	}
+	// Eve probes the secret content; the view-mediated write silently
+	// applies to nothing — but it is on the record.
+	if _, err := eve.Update(&xupdate.Op{
+		Kind: xupdate.Update, Select: "//entry[text() = 'launch codes']", NewValue: "defaced",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := root.Update(&xupdate.Op{
+		Kind: xupdate.Update, Select: "//entry[@level = 'secret']", NewValue: "rotated codes",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What eve saw:")
+	xml, err := eve.ViewXML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(xml)
+
+	fmt.Println("The audit trail:")
+	for _, e := range db.Audit() {
+		fmt.Printf("#%-3d %-8s %-8s %-58s -> %s\n", e.Seq, e.User, e.Action, truncate(e.Detail, 58), e.Outcome)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,112 @@
+// Covertchannel: the §2.2 attack, step by step. user_B holds the update
+// privilege on salaries but may not read them. Under SQL-style semantics
+// (the paper's earlier model [10], package internal/baseline), an UPDATE
+// with a WHERE clause over the hidden data leaks through the "n rows
+// updated" count. Under this paper's model the same probe is evaluated on
+// user_B's view and learns nothing.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securexml/internal/access"
+	"securexml/internal/baseline"
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+const employees = `<employees>
+  <employee><name>ann</name><salary>4000</salary></employee>
+  <employee><name>bob</name><salary>3500</salary></employee>
+  <employee><name>cid</name><salary>2000</salary></employee>
+</employees>`
+
+func env() (*xmltree.Document, *subject.Hierarchy, *policy.Policy, error) {
+	d, err := xmltree.ParseString(employees, xmltree.ParseOptions{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	h := subject.NewHierarchy()
+	if err := h.AddUser("user_B"); err != nil {
+		return nil, nil, nil, err
+	}
+	p := policy.New()
+	// The §2.2 grant: sole update privilege on salaries, no read below the
+	// root ("user_B is not permitted to see user_A's employee table").
+	if err := p.Grant(h, policy.Update, "//salary/node()", "user_B"); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := p.Grant(h, policy.Read, "/employees", "user_B"); err != nil {
+		return nil, nil, nil, err
+	}
+	return d, h, p, nil
+}
+
+func main() {
+	fmt.Println("The database (which user_B may NOT read):")
+	fmt.Println(employees)
+
+	// The probe: "UPDATE employee SET salary = 9999 WHERE salary > 3000".
+	probe := &xupdate.Op{
+		Kind:     xupdate.Update,
+		Select:   "//employee[salary > 3000]/salary",
+		NewValue: "9999",
+	}
+	fmt.Printf("\nuser_B's probe: %s select=%q\n", probe.Kind, probe.Select)
+
+	// --- SQL / model [10]: writes evaluated on the source. ---
+	d, h, p, err := env()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := baseline.Execute(d, h, p, "user_B", probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBaseline (SQL semantics): %d rows updated\n", res.Applied)
+	fmt.Printf("  -> user_B now knows %d employees earn more than 3000,\n", res.Applied)
+	fmt.Println("     and can binary-search exact salaries with more probes.")
+
+	// Demonstrate the binary search against the hidden maximum salary.
+	lo, hi := 0, 8192
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		d2, h2, p2, err := env()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := baseline.Execute(d2, h2, p2, "user_B", &xupdate.Op{
+			Kind:     xupdate.Update,
+			Select:   fmt.Sprintf("//employee[salary > %d]/salary", mid),
+			NewValue: "0",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Applied > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	fmt.Printf("  -> %d probes later: the top salary is exactly %d.\n", 13, hi)
+
+	// --- This paper's model: writes evaluated on the view. ---
+	d3, h3, p3, err := env()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, v, err := access.Execute(d3, h3, p3, "user_B", probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nThis paper's model: %d rows updated\n", sres.Applied)
+	fmt.Println("  user_B's view, on which the probe was evaluated:")
+	fmt.Printf("  %s\n", v.Doc.CompactXML())
+	fmt.Println("  -> the salaries are simply not there; every probe answers 0.")
+}

@@ -1,0 +1,127 @@
+// Epidemiology: the use case that motivates the paper's position privilege
+// (§2.1: "s is permitted to read illnesses, most probably for statistical
+// purpose, but she is forbidden to see patients' names"). A researcher runs
+// aggregate queries over a 200-patient hospital in which every patient name
+// is RESTRICTED — full statistics, zero identities — and the view-evaluated
+// write semantics keep even her *probes* blind.
+//
+//	go run ./examples/epidemiology
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"securexml/internal/core"
+	"securexml/internal/policy"
+	"securexml/internal/workload"
+	"securexml/internal/xupdate"
+)
+
+func main() {
+	// A 200-patient synthetic hospital (deterministic seed).
+	doc, err := workload.Hospital(workload.HospitalConfig{Patients: 200, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := core.New()
+	if err := db.LoadXMLString(workload.XML(doc)); err != nil {
+		log.Fatal(err)
+	}
+	steps := []error{
+		db.AddRole("staff"),
+		db.AddRole("epidemiologist", "staff"),
+		db.AddUser("vera", "epidemiologist"),
+		// Rules 1, 6, 7 of axiom 13: read everything, then pull patient
+		// names back to position-only.
+		db.Grant(policy.Read, "/descendant-or-self::node()", "staff"),
+		db.Revoke(policy.Read, "/patients/*", "epidemiologist"),
+		db.Grant(policy.Position, "/patients/*", "epidemiologist"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	vera, err := db.Session("vera")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Total patient count is available — structure is preserved (§2.1).
+	total, err := vera.QueryValue("count(/patients/*)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("patients on file:     %s\n", total.Str())
+
+	// But every one of them is anonymous.
+	named, err := vera.QueryValue("count(/patients/*[name() != 'RESTRICTED'])")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identifiable names:   %s\n\n", named.Str())
+
+	// Illness prevalence — the statistics the role exists for.
+	illnesses := []string{"tonsillitis", "pneumonia", "angina", "bronchitis", "migraine", "fracture", "flu"}
+	type stat struct {
+		name  string
+		count int
+	}
+	var stats []stat
+	for _, ill := range illnesses {
+		v, err := vera.QueryValue(fmt.Sprintf("count(//diagnosis[text() = '%s'])", ill))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats = append(stats, stat{ill, int(v.Num())})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].count > stats[j].count })
+	fmt.Println("illness prevalence (no identity ever disclosed):")
+	for _, s := range stats {
+		fmt.Printf("  %-12s %3d  %s\n", s.name, s.count, bar(s.count))
+	}
+
+	// Cross-tabulation: which services treat the most pneumonia?
+	fmt.Println("\npneumonia cases by service:")
+	for _, svc := range []string{"cardiology", "oncology", "pneumology", "otolaryngology", "neurology", "orthopedics"} {
+		v, err := vera.QueryValue(fmt.Sprintf(
+			"count(//*[service = '%s'][diagnosis = 'pneumonia'])", svc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Num() > 0 {
+			fmt.Printf("  %-15s %3.0f\n", svc, v.Num())
+		}
+	}
+
+	// Even a *write probe* cannot be used to de-anonymize: selecting "the
+	// patient named p17" on her view matches nothing.
+	res, err := vera.Update(probeFor("p17"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nde-anonymization probe (rename patient 'p17'): selected=%d applied=%d\n",
+		res.Selected, res.Applied)
+	fmt.Println("-> the name does not exist in vera's world; the probe learns nothing.")
+}
+
+func bar(n int) string {
+	out := make([]byte, n/2)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// probeFor builds a rename targeting a patient by name — the probe an
+// attacker in vera's role would try.
+func probeFor(name string) *xupdate.Op {
+	return &xupdate.Op{
+		Kind:     xupdate.Rename,
+		Select:   fmt.Sprintf("/patients/%s", name),
+		NewValue: "gotcha",
+	}
+}

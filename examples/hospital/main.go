@@ -1,0 +1,152 @@
+// Hospital: the paper's full running scenario on the public API — the
+// Fig. 2 medical-files database, the Fig. 3 subject hierarchy, the twelve
+// rules of axiom 13, the four §4.4.1 views, and a working day of updates
+// under the §4.4.2 write access controls.
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securexml/internal/core"
+	"securexml/internal/policy"
+	"securexml/internal/xupdate"
+)
+
+func main() {
+	db := core.New()
+	if err := setup(db); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== The four views of §4.4.1 ==")
+	for _, user := range []string{"beaufort", "robert", "richard", "laporte"} {
+		s, err := db.Session(user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xml, err := s.ViewXML()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s ---\n%s", user, xml)
+	}
+
+	fmt.Println("\n== A working day ==")
+
+	// The secretary admits a new patient (rule 8: insert on /patients).
+	beaufort, err := db.Session("beaufort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := beaufort.Apply(`
+		<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+		  <xupdate:append select="/patients">
+		    <xupdate:element name="albert">
+		      <service>cardiology</service>
+		      <diagnosis/>
+		    </xupdate:element>
+		  </xupdate:append>
+		</xupdate:modifications>`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("beaufort admitted albert (append under /patients).")
+
+	// The doctor poses a diagnosis (rule 10: insert into //diagnosis).
+	laporte, err := db.Session("laporte")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frag := "<xupdate:modifications xmlns:xupdate=\"http://www.xmldb.org/xupdate\">" +
+		"<xupdate:append select=\"/patients/albert/diagnosis\"><xupdate:text>angina</xupdate:text></xupdate:append>" +
+		"</xupdate:modifications>"
+	if _, err := laporte.Apply(frag); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("laporte posed albert's diagnosis: angina.")
+
+	// The doctor revises franck's diagnosis (rule 11: update //diagnosis content).
+	if _, err := laporte.Update(&xupdate.Op{
+		Kind: xupdate.Update, Select: "/patients/franck/diagnosis", NewValue: "pharyngitis",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("laporte revised franck's diagnosis: pharyngitis.")
+
+	// The secretary tries the same and is refused per node (axiom 21).
+	res, err := beaufort.Update(&xupdate.Op{
+		Kind: xupdate.Update, Select: "/patients/albert/diagnosis", NewValue: "oops",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("beaufort tried to edit a diagnosis: applied=%d, refused: %q\n",
+		res.Applied, res.Skipped[0].Reason)
+
+	// The epidemiologist counts illnesses without ever seeing a name.
+	richard, err := db.Session("richard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := richard.QueryValue("count(//diagnosis[text() = 'angina'])")
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, err := richard.Query("/patients/*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("richard counts %s angina case(s); the %d patients he sees are all %q.\n",
+		v.Str(), len(names), names[0].Label)
+
+	// Patient albert reads his own file.
+	if err := db.AddUser("albert", "patient"); err != nil {
+		log.Fatal(err)
+	}
+	albert, err := db.Session("albert")
+	if err != nil {
+		log.Fatal(err)
+	}
+	own, err := albert.ViewXML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- albert's own view ---\n%s", own)
+}
+
+func setup(db *core.Database) error {
+	steps := []error{
+		db.LoadXMLString(`<patients><franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert><service>pneumology</service><diagnosis>pneumonia</diagnosis></robert></patients>`),
+		db.AddRole("staff"),
+		db.AddRole("secretary", "staff"),
+		db.AddRole("doctor", "staff"),
+		db.AddRole("epidemiologist", "staff"),
+		db.AddRole("patient"),
+		db.AddUser("beaufort", "secretary"),
+		db.AddUser("laporte", "doctor"),
+		db.AddUser("richard", "epidemiologist"),
+		db.AddUser("robert", "patient"),
+		db.AddUser("franck", "patient"),
+		// Axiom 13, rules 1-12.
+		db.Grant(policy.Read, "/descendant-or-self::node()", "staff"),
+		db.Revoke(policy.Read, "//diagnosis/node()", "secretary"),
+		db.Grant(policy.Position, "//diagnosis/node()", "secretary"),
+		db.Grant(policy.Read, "/patients", "patient"),
+		db.Grant(policy.Read, "/patients/*[name() = $USER]/descendant-or-self::node()", "patient"),
+		db.Revoke(policy.Read, "/patients/*", "epidemiologist"),
+		db.Grant(policy.Position, "/patients/*", "epidemiologist"),
+		db.Grant(policy.Insert, "/patients", "secretary"),
+		db.Grant(policy.Update, "/patients/*", "secretary"),
+		db.Grant(policy.Insert, "//diagnosis", "doctor"),
+		db.Grant(policy.Update, "//diagnosis/node()", "doctor"),
+		db.Grant(policy.Delete, "//diagnosis/node()", "doctor"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Reporting: the §5 "XSLT-based security processor". One stylesheet renders
+// a hospital report; executed through each user's security filter it
+// produces per-user documents — the doctor's has everything, the
+// secretary's shows RESTRICTED where diagnosis content would be, and a
+// patient's contains only their own record. No intermediate view is
+// materialized: the transformation runs on the source through the filter.
+//
+//	go run ./examples/reporting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securexml/internal/policy"
+	"securexml/internal/qfilter"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+	"securexml/internal/xslt"
+)
+
+const medXML = `<patients><franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert><service>pneumology</service><diagnosis>pneumonia</diagnosis></robert></patients>`
+
+const reportSheet = `
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/">
+    <hospital-report patients="{count(/patients/*)}">
+      <xsl:apply-templates select="/patients/*"/>
+    </hospital-report>
+  </xsl:template>
+  <xsl:template match="/patients/*">
+    <record name="{name()}">
+      <ward><xsl:value-of select="service"/></ward>
+      <xsl:choose>
+        <xsl:when test="diagnosis/node()">
+          <finding><xsl:value-of select="diagnosis"/></finding>
+        </xsl:when>
+        <xsl:otherwise><finding>none on file</finding></xsl:otherwise>
+      </xsl:choose>
+    </record>
+  </xsl:template>
+</xsl:stylesheet>`
+
+func main() {
+	doc, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := subject.PaperHierarchy()
+	pol, err := policy.PaperPolicy(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sheet := xslt.MustParseStylesheet(reportSheet)
+
+	for _, user := range []string{"laporte", "beaufort", "robert"} {
+		pm, err := pol.Evaluate(doc, h, user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sheet.TransformString(doc,
+			xpath.Vars{"USER": xpath.String(user)}, qfilter.ForPerms(pm))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- report as %s ---\n%s\n", user, out)
+	}
+}

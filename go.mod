@@ -1,0 +1,3 @@
+module securexml
+
+go 1.22

@@ -1,0 +1,180 @@
+package securexml_test
+
+// End-to-end integration: the paper scenario driven through the public
+// layers together — core sessions, the HTTP server, XUpdate wire documents,
+// snapshot persistence, and the logic oracle — verifying that the pieces
+// compose, not just pass their unit tests.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"securexml/internal/core"
+	"securexml/internal/logicmodel"
+	"securexml/internal/policy"
+	"securexml/internal/scenario"
+	"securexml/internal/server"
+	"securexml/internal/view"
+	"securexml/internal/workload"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// TestFullLifecycle walks one database through a working day across every
+// layer: HTTP reads/writes, session queries, policy changes, snapshot and
+// restore.
+func TestFullLifecycle(t *testing.T) {
+	db, err := scenario.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(db))
+	defer ts.Close()
+
+	httpGet := func(user, path string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.SetBasicAuth(user, "")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// 1. The secretary admits a patient over HTTP.
+	mods := `<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:append select="/patients">
+	    <xupdate:element name="albert"><service>cardiology</service><diagnosis/></xupdate:element>
+	  </xupdate:append>
+	</xupdate:modifications>`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/update", strings.NewReader(mods))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.SetBasicAuth("beaufort", "")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "applied=1") {
+		t.Fatalf("admission over HTTP: %d %s", resp.StatusCode, body)
+	}
+
+	// 2. The doctor poses the diagnosis through a session.
+	laporte, err := db.Session("laporte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := workloadFragment(t, "angina")
+	if _, err := laporte.Update(&xupdate.Op{Kind: xupdate.Append,
+		Select: "/patients/albert/diagnosis", Content: frag}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. A brand-new patient user reads exactly their own record via HTTP.
+	if err := db.AddUser("albert", "patient"); err != nil {
+		t.Fatal(err)
+	}
+	code, viewXML := httpGet("albert", "/view")
+	if code != http.StatusOK {
+		t.Fatalf("albert /view -> %d", code)
+	}
+	if !strings.Contains(viewXML, "angina") || strings.Contains(viewXML, "franck") {
+		t.Errorf("albert's HTTP view wrong:\n%s", viewXML)
+	}
+
+	// 4. Policy change mid-flight: epidemiologists lose read on services.
+	if err := db.Revoke(policy.Read, "//service/node()", "epidemiologist"); err != nil {
+		t.Fatal(err)
+	}
+	_, q := httpGet("richard", "/value?xpath=count(//service/text())")
+	if strings.TrimSpace(q) != "0" {
+		t.Errorf("policy change not live over HTTP: %q", q)
+	}
+
+	// 5. Snapshot, restore, and confirm the restored database serves the
+	// same views through a fresh server.
+	var snap strings.Builder
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.Open(strings.NewReader(snap.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(server.New(restored))
+	defer ts2.Close()
+	req2, err := http.NewRequest(http.MethodGet, ts2.URL+"/view", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.SetBasicAuth("albert", "")
+	resp2, err := ts2.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredView, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if string(restoredView) != viewXML {
+		t.Errorf("restored server view differs:\n%s\nvs\n%s", restoredView, viewXML)
+	}
+}
+
+func workloadFragment(t *testing.T, text string) *xmltree.Document {
+	t.Helper()
+	f, err := xmltree.ParseString(text, xmltree.ParseOptions{Fragment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestScaledScenarioAgainstLogicOracle runs a mid-sized synthetic hospital
+// through the native engines and the Datalog axioms, confirming agreement
+// beyond the toy paper document.
+func TestScaledScenarioAgainstLogicOracle(t *testing.T) {
+	d, err := workload.Hospital(workload.HospitalConfig{Patients: 8, RecordsPerPatient: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := workload.HospitalHierarchy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.HospitalPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range []string{"beaufort", "laporte", "richard", "p0", "p5"} {
+		pm, err := p.Evaluate(d, h, user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := view.Materialize(d, pm)
+		m, err := logicmodel.Build(d, h, p, user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts := m.ViewFacts()
+		if len(facts) != v.Doc.Len() {
+			t.Errorf("%s: native view %d nodes, logic %d", user, v.Doc.Len(), len(facts))
+		}
+		for _, n := range v.Doc.Nodes() {
+			if facts[n.ID().String()] != n.Label() {
+				t.Errorf("%s: node %s: native %q, logic %q",
+					user, n.ID(), n.Label(), facts[n.ID().String()])
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package access implements the write access controls of §4.4.2 (axioms
+// 18–25): XUpdate operations whose target nodes are selected on the user's
+// *view* rather than on the source database, killing the SQL-style covert
+// channel of §2.2.
+//
+// Per-operation privilege requirements (§4.4.2), with n the selected node:
+//
+//	xupdate:rename        update on n, and read on n (a node shown with the
+//	                      RESTRICTED label cannot be renamed, because that
+//	                      would overwrite a label the user may not see)
+//	xupdate:update        update AND read on each child of n in the view
+//	                      (axioms 20–21)
+//	xupdate:append        insert on n (axiom 22)
+//	xupdate:insert-before insert on the parent of n (axiom 23)
+//	xupdate:insert-after  insert on the parent of n (axiom 24)
+//	xupdate:remove        delete on n (axiom 25); invisible descendants are
+//	                      deleted silently — the paper prefers
+//	                      confidentiality over integrity
+//
+// Operations may succeed on some selected nodes and fail on others; the
+// Result records both.
+package access
+
+import (
+	"errors"
+	"fmt"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/view"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+	"securexml/internal/xupdate"
+)
+
+// ErrUnknownUser is returned when the session user is not in the hierarchy.
+var ErrUnknownUser = errors.New("access: unknown user")
+
+// Execute applies op on behalf of user: permissions are evaluated (axiom
+// 14), the user's view is materialized (axioms 15–17), the op's select path
+// runs on the view with $USER bound, and each selected node is updated in
+// the source document if and only if the §4.4.2 privilege requirements
+// hold. It returns the operation result and the view that was used.
+func Execute(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, user string, op *xupdate.Op) (*xupdate.Result, *view.View, error) {
+	return ExecuteWithVars(doc, h, pol, user, op, nil)
+}
+
+// ExecuteWithVars is Execute with additional XPath variable bindings (e.g.
+// xupdate:variable bindings threaded through a modification sequence).
+// $USER always binds to the session user. Dynamic content (value-of
+// placeholders) is expanded against the user's *view*, so inserted copies
+// can never carry data the user may not read.
+func ExecuteWithVars(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, user string, op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, *view.View, error) {
+	if !h.Exists(user) {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	if err := op.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if op.Kind == xupdate.Variable {
+		return nil, nil, fmt.Errorf("access: variable bindings need a sequence context (Session.Apply)")
+	}
+	pm, err := pol.Evaluate(doc, h, user)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := view.Materialize(doc, pm)
+	vars := make(xpath.Vars, len(extra)+1)
+	for k, val := range extra {
+		vars[k] = val
+	}
+	vars["USER"] = xpath.String(user)
+	run := op
+	if op.HasDynamicContent() {
+		expanded, err := op.ExpandContent(v.Doc.Root(), vars)
+		if err != nil {
+			return nil, nil, fmt.Errorf("access: expanding dynamic content on view: %w", err)
+		}
+		cp := *op
+		cp.Content = expanded
+		run = &cp
+	}
+	sel, err := xpath.Select(v.Doc, run.Select, vars)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access: evaluating select path on view: %w", err)
+	}
+	res := &xupdate.Result{Selected: len(sel)}
+	for _, vn := range sel {
+		if err := applySecured(doc, pm, v, run, vn, res); err != nil {
+			return nil, nil, err
+		}
+	}
+	return res, v, nil
+}
+
+// skip records a per-node refusal.
+func skip(res *xupdate.Result, n *xmltree.Node, reason string) {
+	res.Skipped = append(res.Skipped, xupdate.SkipReason{NodeID: n.ID().String(), Reason: reason})
+}
+
+// applySecured enforces the §4.4.2 requirements for one node selected on
+// the view and, if satisfied, performs the change on the source document.
+func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xupdate.Op, vn *xmltree.Node, res *xupdate.Result) error {
+	// Map the view node back to its source node via the shared identifier.
+	src := doc.NodeByID(vn.ID())
+	if src == nil {
+		// The node vanished from the source while this op ran over a
+		// multi-node selection (e.g. removed with an earlier target).
+		skip(res, vn, "node no longer exists in the source document")
+		return nil
+	}
+	switch op.Kind {
+	case xupdate.Rename:
+		if src.Kind() == xmltree.KindDocument {
+			skip(res, vn, "cannot rename the document node")
+			return nil
+		}
+		if !pm.Has(src, policy.Update) {
+			skip(res, vn, "update privilege required")
+			return nil
+		}
+		if !pm.Has(src, policy.Read) {
+			// The node is in the view only via position: its label shows as
+			// RESTRICTED and must not be overwritten blindly.
+			skip(res, vn, "node is RESTRICTED: renaming would overwrite a label the user cannot see")
+			return nil
+		}
+		if err := doc.Rename(src, op.NewValue); err != nil {
+			return err
+		}
+		res.Applied++
+	case xupdate.Update:
+		// Axioms 20–21: the children of the selected node *in the view*,
+		// each requiring both update and read.
+		kids := vn.Children()
+		if len(kids) == 0 {
+			skip(res, vn, "no children visible to update (xupdate:update renames the children of the selected node)")
+			return nil
+		}
+		applied := false
+		for _, vk := range kids {
+			sk := doc.NodeByID(vk.ID())
+			if sk == nil {
+				skip(res, vk, "child no longer exists in the source document")
+				continue
+			}
+			if !pm.Has(sk, policy.Update) {
+				skip(res, vk, "update privilege required on the child")
+				continue
+			}
+			if !pm.Has(sk, policy.Read) {
+				skip(res, vk, "read privilege required on the child (axiom 21)")
+				continue
+			}
+			if err := doc.Rename(sk, op.NewValue); err != nil {
+				return err
+			}
+			applied = true
+		}
+		if applied {
+			res.Applied++
+		}
+	case xupdate.Append:
+		if !pm.Has(src, policy.Insert) {
+			skip(res, vn, "insert privilege required")
+			return nil
+		}
+		for _, top := range op.Content.Root().Children() {
+			created, err := graft(doc, src, xmltree.GraftAppend, top)
+			if err != nil {
+				return err
+			}
+			res.Created += created
+		}
+		res.Applied++
+	case xupdate.InsertBefore, xupdate.InsertAfter:
+		// Axioms 23–24: insert privilege on the parent of the selected node.
+		parent := vn.Parent()
+		if parent == nil || src.Parent() == nil {
+			skip(res, vn, "document node has no siblings")
+			return nil
+		}
+		srcParent := doc.NodeByID(parent.ID())
+		if srcParent == nil || !pm.Has(srcParent, policy.Insert) {
+			skip(res, vn, "insert privilege required on the parent")
+			return nil
+		}
+		mode := xmltree.GraftBefore
+		tops := op.Content.Root().Children()
+		if op.Kind == xupdate.InsertAfter {
+			mode = xmltree.GraftAfter
+			for i := len(tops) - 1; i >= 0; i-- {
+				created, err := graft(doc, src, mode, tops[i])
+				if err != nil {
+					return err
+				}
+				res.Created += created
+			}
+		} else {
+			for _, top := range tops {
+				created, err := graft(doc, src, mode, top)
+				if err != nil {
+					return err
+				}
+				res.Created += created
+			}
+		}
+		res.Applied++
+	case xupdate.Remove:
+		if !pm.Has(src, policy.Delete) {
+			skip(res, vn, "delete privilege required")
+			return nil
+		}
+		// Axiom 25: the whole source subtree goes, including nodes the user
+		// cannot see (confidentiality over integrity).
+		res.Removed += len(src.Subtree())
+		if err := doc.Remove(src); err != nil {
+			return err
+		}
+		res.Applied++
+	default:
+		return fmt.Errorf("access: unknown operation kind %d", int(op.Kind))
+	}
+	return nil
+}
+
+func graft(doc *xmltree.Document, ref *xmltree.Node, mode xmltree.GraftMode, srcTop *xmltree.Node) (int, error) {
+	top, err := doc.Graft(ref, mode, srcTop)
+	if err != nil {
+		return 0, err
+	}
+	return len(top.Subtree()), nil
+}

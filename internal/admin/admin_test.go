@@ -1,0 +1,261 @@
+package admin
+
+import (
+	"errors"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+)
+
+const medXML = `<patients><franck><service>oto</service><diagnosis>tonsillitis</diagnosis></franck><robert><service>pneumo</service><diagnosis>pneumonia</diagnosis></robert></patients>`
+
+func env(t *testing.T) (*xmltree.Document, *subject.Hierarchy, *Authority) {
+	t.Helper()
+	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.PaperHierarchy()
+	if err := h.AddUser("dba"); err != nil {
+		t.Fatal(err)
+	}
+	return d, h, New("dba")
+}
+
+func TestOwnerCanIssueAnything(t *testing.T) {
+	d, h, a := env(t)
+	for _, priv := range policy.Privileges {
+		ok, err := a.CanIssue(d, h, "dba", priv, "/descendant-or-self::node()")
+		if err != nil || !ok {
+			t.Errorf("owner CanIssue(%s) = %v, %v", priv, ok, err)
+		}
+	}
+	if a.Owner() != "dba" {
+		t.Errorf("Owner = %q", a.Owner())
+	}
+}
+
+func TestNonOwnerDeniedWithoutDelegation(t *testing.T) {
+	d, h, a := env(t)
+	ok, err := a.CanIssue(d, h, "laporte", policy.Read, "//diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("undelegated subject can issue rules")
+	}
+	if _, err := a.CanIssue(d, h, "ghost", policy.Read, "//x"); !errors.Is(err, ErrUnknownSubject) {
+		t.Errorf("unknown subject: %v", err)
+	}
+}
+
+func TestDelegationScopeContainment(t *testing.T) {
+	d, h, a := env(t)
+	// dba delegates administration of read over franck's subtree to laporte.
+	err := a.Delegate(d, h, Delegation{
+		Grantor: "dba", Grantee: "laporte", Privilege: policy.Read,
+		Scope: "/patients/franck/descendant-or-self::node()",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/patients/franck/diagnosis", true},           // inside scope
+		{"/patients/franck/descendant-or-self::node()", true}, // the whole scope
+		{"/patients/robert/diagnosis", false},          // outside
+		{"//diagnosis", false},                         // straddles the boundary
+		{"//nosuchthing", true},                        // empty set ⊆ anything
+	}
+	for _, tc := range cases {
+		ok, err := a.CanIssue(d, h, "laporte", policy.Read, tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tc.want {
+			t.Errorf("CanIssue(laporte, read, %s) = %v, want %v", tc.path, ok, tc.want)
+		}
+	}
+	// The delegation is privilege-specific.
+	ok, err := a.CanIssue(d, h, "laporte", policy.Delete, "/patients/franck/diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("delegation leaked across privileges")
+	}
+}
+
+func TestDelegationToRoleCoversMembers(t *testing.T) {
+	d, h, a := env(t)
+	if err := a.Delegate(d, h, Delegation{
+		Grantor: "dba", Grantee: "doctor", Privilege: policy.Insert, Scope: "//diagnosis",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.CanIssue(d, h, "laporte", policy.Insert, "//diagnosis")
+	if err != nil || !ok {
+		t.Errorf("role-delegated authority not inherited: %v %v", ok, err)
+	}
+	ok, err = a.CanIssue(d, h, "beaufort", policy.Insert, "//diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("delegation to doctor leaked to secretary")
+	}
+}
+
+func TestWithGrantChains(t *testing.T) {
+	d, h, a := env(t)
+	// dba -> laporte (with grant) -> beaufort.
+	if err := a.Delegate(d, h, Delegation{
+		Grantor: "dba", Grantee: "laporte", Privilege: policy.Read,
+		Scope: "//diagnosis/node()", WithGrant: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delegate(d, h, Delegation{
+		Grantor: "laporte", Grantee: "beaufort", Privilege: policy.Read,
+		Scope: "/patients/franck/diagnosis/node()",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.CanIssue(d, h, "beaufort", policy.Read, "/patients/franck/diagnosis/node()")
+	if err != nil || !ok {
+		t.Errorf("chained delegation broken: %v %v", ok, err)
+	}
+	// Without WithGrant the middle cannot extend the chain.
+	if err := a.Delegate(d, h, Delegation{
+		Grantor: "beaufort", Grantee: "richard", Privilege: policy.Read,
+		Scope: "/patients/franck/diagnosis/node()",
+	}); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("grantee without grant option delegated: %v", err)
+	}
+	// The middle cannot delegate beyond its own scope either.
+	if err := a.Delegate(d, h, Delegation{
+		Grantor: "laporte", Grantee: "richard", Privilege: policy.Read,
+		Scope: "//service", WithGrant: false,
+	}); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("scope escalation allowed: %v", err)
+	}
+}
+
+func TestRevokeCascades(t *testing.T) {
+	d, h, a := env(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(a.Delegate(d, h, Delegation{Grantor: "dba", Grantee: "laporte",
+		Privilege: policy.Read, Scope: "//diagnosis/node()", WithGrant: true}))
+	must(a.Delegate(d, h, Delegation{Grantor: "laporte", Grantee: "beaufort",
+		Privilege: policy.Read, Scope: "//diagnosis/node()", WithGrant: true}))
+	must(a.Delegate(d, h, Delegation{Grantor: "beaufort", Grantee: "richard",
+		Privilege: policy.Read, Scope: "//diagnosis/node()"}))
+	if len(a.Delegations()) != 3 {
+		t.Fatalf("%d delegations", len(a.Delegations()))
+	}
+	removed, err := a.Revoke(d, h, "dba", "laporte", policy.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole chain collapses: 1 revoked + 2 cascaded.
+	if removed != 3 || len(a.Delegations()) != 0 {
+		t.Errorf("removed=%d remaining=%d, want 3/0", removed, len(a.Delegations()))
+	}
+	ok, err := a.CanIssue(d, h, "richard", policy.Read, "//diagnosis/node()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cascaded-revoked authority survived")
+	}
+}
+
+func TestRevokeKeepsIndependentChains(t *testing.T) {
+	d, h, a := env(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two independent grants to beaufort; revoking one keeps the other.
+	must(a.Delegate(d, h, Delegation{Grantor: "dba", Grantee: "laporte",
+		Privilege: policy.Read, Scope: "//diagnosis/node()", WithGrant: true}))
+	must(a.Delegate(d, h, Delegation{Grantor: "laporte", Grantee: "beaufort",
+		Privilege: policy.Read, Scope: "//diagnosis/node()"}))
+	must(a.Delegate(d, h, Delegation{Grantor: "dba", Grantee: "beaufort",
+		Privilege: policy.Read, Scope: "//diagnosis/node()"}))
+	if _, err := a.Revoke(d, h, "dba", "laporte", policy.Read); err != nil {
+		t.Fatal(err)
+	}
+	// laporte's grant and its dependent fall; dba's direct grant survives.
+	if len(a.Delegations()) != 1 {
+		t.Fatalf("%d delegations remain, want 1", len(a.Delegations()))
+	}
+	ok, err := a.CanIssue(d, h, "beaufort", policy.Read, "//diagnosis/node()")
+	if err != nil || !ok {
+		t.Errorf("independently granted authority lost: %v %v", ok, err)
+	}
+}
+
+func TestGuardedAdd(t *testing.T) {
+	d, h, a := env(t)
+	pol := policy.New()
+	rule := policy.Rule{Effect: policy.Accept, Privilege: policy.Read,
+		Path: "/patients/franck/diagnosis", Subject: "secretary", Priority: 1}
+	// laporte has no authority yet.
+	if err := a.GuardedAdd(d, h, pol, "laporte", rule); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("unauthorized add: %v", err)
+	}
+	if pol.Len() != 0 {
+		t.Fatal("rule slipped in")
+	}
+	if err := a.Delegate(d, h, Delegation{Grantor: "dba", Grantee: "laporte",
+		Privilege: policy.Read, Scope: "/patients/franck/descendant-or-self::node()"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GuardedAdd(d, h, pol, "laporte", rule); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Len() != 1 {
+		t.Error("authorized rule not added")
+	}
+	// The owner can always add.
+	rule2 := rule
+	rule2.Priority = 2
+	rule2.Path = "//service"
+	if err := a.GuardedAdd(d, h, pol, "dba", rule2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelegateValidation(t *testing.T) {
+	d, h, a := env(t)
+	if err := a.Delegate(d, h, Delegation{Grantor: "ghost", Grantee: "laporte",
+		Privilege: policy.Read, Scope: "//x"}); !errors.Is(err, ErrUnknownSubject) {
+		t.Errorf("unknown grantor: %v", err)
+	}
+	if err := a.Delegate(d, h, Delegation{Grantor: "dba", Grantee: "ghost",
+		Privilege: policy.Read, Scope: "//x"}); !errors.Is(err, ErrUnknownSubject) {
+		t.Errorf("unknown grantee: %v", err)
+	}
+	if err := a.Delegate(d, h, Delegation{Grantor: "dba", Grantee: "laporte",
+		Privilege: policy.Read, Scope: "//["}); err == nil {
+		t.Error("bad scope path accepted")
+	}
+	d2 := Delegation{Grantor: "dba", Grantee: "laporte", Privilege: policy.Read,
+		Scope: "//diagnosis", WithGrant: true}
+	if err := a.Delegate(d, h, d2); err != nil {
+		t.Fatal(err)
+	}
+	if s := d2.String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,633 @@
+// Package core assembles the paper's model into a usable secure XML
+// database: a Database holds the source document, the subject hierarchy and
+// the security policy; Sessions expose per-user queries and updates with the
+// paper's access controls enforced throughout.
+//
+// Reads (§4.4.1): every query is evaluated against the user's materialized
+// view (axioms 15–17), cached per (document version, policy epoch).
+// Writes (§4.4.2): every XUpdate operation selects its targets on the view
+// and checks per-node privileges (axioms 18–25).
+//
+// Database is safe for concurrent use: reads share an RWMutex read lock,
+// updates and administration take the write lock.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"securexml/internal/access"
+	"securexml/internal/journal"
+	"securexml/internal/labeling"
+	"securexml/internal/policy"
+	"securexml/internal/qfilter"
+	"securexml/internal/storage"
+	"securexml/internal/subject"
+	"securexml/internal/view"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+	"securexml/internal/xslt"
+	"securexml/internal/xupdate"
+)
+
+// Errors returned by core operations.
+var (
+	ErrUnknownUser = errors.New("core: unknown user")
+	ErrNotUser     = errors.New("core: sessions are for users, not roles")
+)
+
+// Option configures a Database.
+type Option func(*Database)
+
+// WithScheme selects the labeling scheme (default fracpath).
+func WithScheme(s labeling.Scheme) Option {
+	return func(db *Database) { db.scheme = s }
+}
+
+// WithAuditLimit bounds the in-memory audit log (default 4096 entries; the
+// oldest entries are dropped first). A limit of 0 disables auditing.
+func WithAuditLimit(n int) Option {
+	return func(db *Database) { db.auditLimit = n }
+}
+
+// WithJournal attaches an operation log: every successfully executed
+// modification is appended as an <xupdate:modifications> document framed
+// with its user. seqStart continues an existing journal (0 starts fresh);
+// after Recover, pass the returned last sequence number.
+func WithJournal(w io.Writer, seqStart uint64) Option {
+	return func(db *Database) { db.journal = journal.NewWriter(w, seqStart) }
+}
+
+// Database is a secure XML database.
+type Database struct {
+	mu          sync.RWMutex
+	scheme      labeling.Scheme
+	doc         *xmltree.Document
+	subjects    *subject.Hierarchy
+	policy      *policy.Policy
+	policyEpoch uint64
+	auditLimit  int
+	auditMu     sync.Mutex
+	audit       []AuditEntry
+	auditSeq    uint64
+	journal     *journal.Writer
+}
+
+// New creates an empty database: no document, no subjects, no rules.
+func New(opts ...Option) *Database {
+	db := &Database{
+		scheme:     labeling.NewFracPath(),
+		subjects:   subject.NewHierarchy(),
+		policy:     policy.New(),
+		auditLimit: 4096,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	db.doc = xmltree.New(db.scheme)
+	return db
+}
+
+// LoadXML replaces the database content with the document read from r.
+func (db *Database) LoadXML(r io.Reader) error {
+	doc, err := xmltree.Parse(r, xmltree.ParseOptions{Scheme: db.scheme})
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.doc = doc
+	db.record("system", "load", fmt.Sprintf("%d nodes", doc.Len()), "ok")
+	return nil
+}
+
+// LoadXMLString is LoadXML over a string.
+func (db *Database) LoadXMLString(s string) error { return db.LoadXML(strings.NewReader(s)) }
+
+// Save writes a durable snapshot of the database — the document with its
+// persistent identifiers, the subject hierarchy and the policy — to w.
+// The audit log is not part of the snapshot (export it via Audit).
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rules := make([]policy.Rule, 0, db.policy.Len())
+	for _, r := range db.policy.Rules() {
+		rules = append(rules, *r)
+	}
+	return storage.Write(w, &storage.Snapshot{
+		SchemeName: db.scheme.Name(),
+		Doc:        db.doc,
+		Subjects:   db.subjects,
+		Rules:      rules,
+	})
+}
+
+// Open restores a database from a snapshot written by Save. Node
+// identifiers, subjects and rule priorities are restored exactly; rule
+// paths are recompiled (a snapshot from a newer, incompatible grammar
+// fails here rather than at query time).
+func Open(r io.Reader, opts ...Option) (*Database, error) {
+	snap, err := storage.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := labeling.ByName(snap.SchemeName)
+	if err != nil {
+		return nil, err
+	}
+	db := New(append([]Option{WithScheme(scheme)}, opts...)...)
+	db.doc = snap.Doc
+	db.subjects = snap.Subjects
+	for _, rule := range snap.Rules {
+		if err := db.policy.Add(db.subjects, rule); err != nil {
+			return nil, fmt.Errorf("core: restoring rule %s: %w", rule.String(), err)
+		}
+	}
+	db.record("system", "open", fmt.Sprintf("%d nodes, %d rules", db.doc.Len(), db.policy.Len()), "ok")
+	return db, nil
+}
+
+// --- administration -----------------------------------------------------------
+
+// AddRole declares a role under optional parent roles.
+func (db *Database) AddRole(name string, parents ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.subjects.AddRole(name, parents...); err != nil {
+		return err
+	}
+	db.policyEpoch++
+	db.record("system", "add-role", name, "ok")
+	return nil
+}
+
+// AddUser declares a user belonging to the given roles.
+func (db *Database) AddUser(name string, roles ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.subjects.AddUser(name, roles...); err != nil {
+		return err
+	}
+	db.policyEpoch++
+	db.record("system", "add-user", name, "ok")
+	return nil
+}
+
+// Grant appends an accept rule (latest priority, §4.3 discipline).
+func (db *Database) Grant(priv policy.Privilege, path, subj string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.policy.Grant(db.subjects, priv, path, subj); err != nil {
+		return err
+	}
+	db.policyEpoch++
+	db.record("system", "grant", fmt.Sprintf("%s on %s to %s", priv, path, subj), "ok")
+	return nil
+}
+
+// Revoke appends a deny rule (latest priority).
+func (db *Database) Revoke(priv policy.Privilege, path, subj string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.policy.Revoke(db.subjects, priv, path, subj); err != nil {
+		return err
+	}
+	db.policyEpoch++
+	db.record("system", "revoke", fmt.Sprintf("%s on %s from %s", priv, path, subj), "ok")
+	return nil
+}
+
+// AddRule inserts a rule with an explicit priority.
+func (db *Database) AddRule(r policy.Rule) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.policy.Add(db.subjects, r); err != nil {
+		return err
+	}
+	db.policyEpoch++
+	db.record("system", "add-rule", r.String(), "ok")
+	return nil
+}
+
+// Rules returns a snapshot of the policy rules.
+func (db *Database) Rules() []policy.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]policy.Rule, 0, db.policy.Len())
+	for _, r := range db.policy.Rules() {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Users returns all user names.
+func (db *Database) Users() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.subjects.Users()
+}
+
+// Roles returns all role names.
+func (db *Database) Roles() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.subjects.Roles()
+}
+
+// Hierarchy returns an independent copy of the subject hierarchy.
+func (db *Database) Hierarchy() *subject.Hierarchy {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.subjects.Clone()
+}
+
+// SourceXML serializes the raw source document — administrator use only;
+// regular access goes through Session views.
+func (db *Database) SourceXML() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.doc.XML()
+}
+
+// Stats summarizes the database state.
+type Stats struct {
+	Nodes       int
+	Rules       int
+	Users       int
+	Roles       int
+	DocVersion  uint64
+	PolicyEpoch uint64
+}
+
+// Stats returns current counters.
+func (db *Database) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return Stats{
+		Nodes:       db.doc.Len(),
+		Rules:       db.policy.Len(),
+		Users:       len(db.subjects.Users()),
+		Roles:       len(db.subjects.Roles()),
+		DocVersion:  db.doc.Version(),
+		PolicyEpoch: db.policyEpoch,
+	}
+}
+
+// --- audit --------------------------------------------------------------------
+
+// AuditEntry is one recorded action.
+type AuditEntry struct {
+	Seq     uint64
+	User    string
+	Action  string // "query", "update", "grant", ...
+	Detail  string
+	Outcome string
+}
+
+// record appends an audit entry; callers hold the write lock (or accept the
+// race on reads, which only concerns the audit trail itself). Auditing is
+// disabled with limit 0.
+func (db *Database) record(user, action, detail, outcome string) {
+	if db.auditLimit == 0 {
+		return
+	}
+	db.auditSeq++
+	db.audit = append(db.audit, AuditEntry{
+		Seq: db.auditSeq, User: user, Action: action, Detail: detail, Outcome: outcome,
+	})
+	if len(db.audit) > db.auditLimit {
+		db.audit = db.audit[len(db.audit)-db.auditLimit:]
+	}
+}
+
+// Audit returns a snapshot of the audit log, oldest first.
+func (db *Database) Audit() []AuditEntry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.auditMu.Lock()
+	defer db.auditMu.Unlock()
+	return append([]AuditEntry(nil), db.audit...)
+}
+
+// --- sessions -----------------------------------------------------------------
+
+// Session is an authenticated connection for one user.
+type Session struct {
+	db   *Database
+	user string
+
+	mu          sync.Mutex
+	cached      *view.View
+	cachedVer   uint64
+	cachedEpoch uint64
+}
+
+// Session opens a session for a declared user. Roles cannot log in.
+func (db *Database) Session(user string) (*Session, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	kind, ok := db.subjects.KindOf(user)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	if kind != subject.User {
+		return nil, fmt.Errorf("%w: %q is a role", ErrNotUser, user)
+	}
+	return &Session{db: db, user: user}, nil
+}
+
+// User returns the session's login.
+func (s *Session) User() string { return s.user }
+
+// vars returns the XPath bindings of the session ($USER, §4.3).
+func (s *Session) vars() xpath.Vars {
+	return xpath.Vars{"USER": xpath.String(s.user)}
+}
+
+// currentView returns the session's view, rebuilding it only when the
+// document or the policy changed. Callers must hold db.mu (read or write).
+func (s *Session) currentView() (*view.View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cached != nil && s.cachedVer == s.db.doc.Version() && s.cachedEpoch == s.db.policyEpoch {
+		return s.cached, nil
+	}
+	pm, err := s.db.policy.Evaluate(s.db.doc, s.db.subjects, s.user)
+	if err != nil {
+		return nil, err
+	}
+	s.cached = view.Materialize(s.db.doc, pm)
+	s.cachedVer = s.db.doc.Version()
+	s.cachedEpoch = s.db.policyEpoch
+	return s.cached, nil
+}
+
+// View returns the user's current view. The returned view (including its
+// document) must be treated as read-only; it is shared with the session
+// cache.
+func (s *Session) View() (*view.View, error) {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.currentView()
+}
+
+// ViewXML serializes the user's view.
+func (s *Session) ViewXML() (string, error) {
+	v, err := s.View()
+	if err != nil {
+		return "", err
+	}
+	return v.Doc.XML(), nil
+}
+
+// Result is one node matched by a query, described without exposing
+// internal identifiers.
+type Result struct {
+	Kind  xmltree.Kind
+	Label string
+	Path  string // view path, e.g. /patients/RESTRICTED/diagnosis
+	Value string // XPath string-value
+}
+
+// Query evaluates an XPath expression against the user's view and returns
+// the matching nodes (§4.4.1: users only ever query their view).
+func (s *Session) Query(path string) ([]Result, error) {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	v, err := s.currentView()
+	if err != nil {
+		s.db.recordLocked("query", s.user, path, "error: "+err.Error())
+		return nil, err
+	}
+	ns, err := xpath.Select(v.Doc, path, s.vars())
+	if err != nil {
+		s.db.recordLocked("query", s.user, path, "error: "+err.Error())
+		return nil, err
+	}
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{Kind: n.Kind(), Label: n.Label(), Path: n.Path(), Value: n.StringValue()}
+	}
+	s.db.recordLocked("query", s.user, path, fmt.Sprintf("%d nodes", len(out)))
+	return out, nil
+}
+
+// QueryValue evaluates an XPath expression that may yield an atomic value
+// (count(), boolean tests, string()...) against the user's view.
+func (s *Session) QueryValue(path string) (xpath.Value, error) {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	v, err := s.currentView()
+	if err != nil {
+		return nil, err
+	}
+	c, err := xpath.Compile(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.Eval(v.Doc.Root(), s.vars())
+}
+
+// recordLocked appends an audit entry while holding at least the read lock.
+// Audit writes under a read lock race only against other audit writes, so
+// they synchronize on a dedicated mutex.
+func (db *Database) recordLocked(action, user, detail, outcome string) {
+	db.auditMu.Lock()
+	db.record(user, action, detail, outcome)
+	db.auditMu.Unlock()
+}
+
+// Update executes one XUpdate operation with the paper's write access
+// controls (axioms 18–25). It returns the per-node result.
+func (s *Session) Update(op *xupdate.Op) (*xupdate.Result, error) {
+	res, err := s.updateWithVars(op, nil)
+	if err == nil && s.db.journal != nil && res.Applied > 0 {
+		if jerr := s.journalOp(op); jerr != nil {
+			return res, fmt.Errorf("core: operation applied but journaling failed: %w", jerr)
+		}
+	}
+	return res, err
+}
+
+// journalOp appends a single-operation modification document.
+func (s *Session) journalOp(op *xupdate.Op) error {
+	doc, err := xupdate.ModificationsString([]*xupdate.Op{op})
+	if err != nil {
+		return err
+	}
+	_, err = s.db.journal.Append(s.user, doc)
+	return err
+}
+
+func (s *Session) updateWithVars(op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	res, _, err := access.ExecuteWithVars(s.db.doc, s.db.subjects, s.db.policy, s.user, op, extra)
+	if err != nil {
+		s.db.record(s.user, "update", opDetail(op), "error: "+err.Error())
+		return nil, err
+	}
+	s.db.record(s.user, "update", opDetail(op),
+		fmt.Sprintf("selected=%d applied=%d skipped=%d", res.Selected, res.Applied, len(res.Skipped)))
+	return res, nil
+}
+
+// Apply parses an <xupdate:modifications> document and executes its
+// operations in order, returning one result per operation (a zero result
+// for xupdate:variable bindings, which are threaded through the sequence
+// and evaluated against the user's view). Execution stops at the first
+// hard error; privilege refusals are not errors (they appear as skipped
+// nodes in the results).
+func (s *Session) Apply(modifications string) ([]*xupdate.Result, error) {
+	results, err := s.apply(modifications)
+	if err != nil {
+		return results, err
+	}
+	if s.db.journal != nil && anyApplied(results) {
+		if _, jerr := s.db.journal.Append(s.user, modifications); jerr != nil {
+			return results, fmt.Errorf("core: modifications applied but journaling failed: %w", jerr)
+		}
+	}
+	return results, nil
+}
+
+func anyApplied(results []*xupdate.Result) bool {
+	for _, r := range results {
+		if r.Applied > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// apply executes a modification document without journaling (used by Apply
+// and by journal replay).
+func (s *Session) apply(modifications string) ([]*xupdate.Result, error) {
+	ops, err := xupdate.ParseModificationsString(modifications)
+	if err != nil {
+		return nil, err
+	}
+	env := xpath.Vars{}
+	results := make([]*xupdate.Result, 0, len(ops))
+	for _, op := range ops {
+		if op.Kind == xupdate.Variable {
+			if err := op.Validate(); err != nil {
+				return results, err
+			}
+			v, err := s.View()
+			if err != nil {
+				return results, err
+			}
+			val, err := op.BindVariable(v.Doc.Root(), mergeUser(env, s.user))
+			if err != nil {
+				return results, err
+			}
+			env[op.VarName()] = val
+			results = append(results, &xupdate.Result{})
+			continue
+		}
+		res, err := s.updateWithVars(op, env)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// mergeUser returns env plus the $USER binding.
+func mergeUser(env xpath.Vars, user string) xpath.Vars {
+	out := make(xpath.Vars, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	out["USER"] = xpath.String(user)
+	return out
+}
+
+func opDetail(op *xupdate.Op) string {
+	switch op.Kind {
+	case xupdate.Rename, xupdate.Update:
+		return fmt.Sprintf("%s select=%s vnew=%s", op.Kind, op.Select, op.NewValue)
+	default:
+		return fmt.Sprintf("%s select=%s", op.Kind, op.Select)
+	}
+}
+
+// ApplyAs implements journal.Applier: it executes a logged modification
+// document as the given user through the normal security path, without
+// re-journaling. Used by Recover.
+func (db *Database) ApplyAs(user, modifications string) error {
+	s, err := db.Session(user)
+	if err != nil {
+		return err
+	}
+	_, err = s.apply(modifications)
+	return err
+}
+
+// Recover rebuilds state from a snapshot plus its journal suffix: the
+// snapshot is restored, then every journal entry is re-executed through
+// the security path. It returns the database and the last replayed
+// sequence number (pass it to WithJournal to continue the same log).
+// A torn final journal entry (crash during append) is tolerated: the
+// intact prefix is applied.
+func Recover(snapshot, journalLog io.Reader, opts ...Option) (*Database, uint64, error) {
+	db, err := Open(snapshot, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	entries, err := journal.Read(journalLog)
+	if err != nil && !errors.Is(err, journal.ErrCorrupt) {
+		return nil, 0, err
+	}
+	torn := err != nil
+	applied, lastSeq, err := journal.Replay(db, entries)
+	if err != nil {
+		return nil, lastSeq, err
+	}
+	detail := fmt.Sprintf("replayed %d entries", applied)
+	if torn {
+		detail += " (torn tail discarded)"
+	}
+	db.mu.Lock()
+	db.record("system", "recover", detail, "ok")
+	db.mu.Unlock()
+	return db, lastSeq, nil
+}
+
+// AttachJournal attaches (or replaces) the operation log on an existing
+// database — the recovery sequence is: Recover(snapshot, journal), then
+// AttachJournal(appendHandle, lastSeq) to continue the same log.
+func (db *Database) AttachJournal(w io.Writer, seqStart uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.journal = journal.NewWriter(w, seqStart)
+}
+
+// Transform runs an XSLT stylesheet as the session user through the §5
+// security-processor path: the stylesheet executes against the source
+// document but observes only the user's authorized view (qfilter.ForPerms
+// over the axiom-14 permissions). No intermediate view is materialized.
+func (s *Session) Transform(stylesheet string) (string, error) {
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		return "", err
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	pm, err := s.db.policy.Evaluate(s.db.doc, s.db.subjects, s.user)
+	if err != nil {
+		return "", err
+	}
+	out, err := sheet.TransformString(s.db.doc, s.vars(), qfilter.ForPerms(pm))
+	if err != nil {
+		s.db.recordLocked("transform", s.user, "stylesheet", "error: "+err.Error())
+		return "", err
+	}
+	s.db.recordLocked("transform", s.user, "stylesheet", fmt.Sprintf("%d bytes", len(out)))
+	return out, nil
+}

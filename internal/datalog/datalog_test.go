@@ -1,0 +1,413 @@
+package datalog
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, e *Engine) *DB {
+	t.Helper()
+	db, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFactsOnly(t *testing.T) {
+	e := NewEngine()
+	e.Fact("node", "n1", "patients")
+	e.Fact("node", "n2", "franck")
+	e.Fact("node", "n1", "patients") // duplicate
+	db := run(t, e)
+	if db.Count("node") != 2 {
+		t.Errorf("node count = %d, want 2 (deduplicated)", db.Count("node"))
+	}
+	if !db.Has("node", "n1", "patients") || db.Has("node", "n9", "x") {
+		t.Error("Has wrong")
+	}
+}
+
+func TestSimpleRule(t *testing.T) {
+	e := NewEngine()
+	e.Fact("parent", "a", "b")
+	e.Fact("parent", "b", "c")
+	e.MustRule(Rule{Head: A("grand", V("X"), V("Z")),
+		Body: []Literal{Pos(A("parent", V("X"), V("Y"))), Pos(A("parent", V("Y"), V("Z")))}})
+	db := run(t, e)
+	if !db.Has("grand", "a", "c") {
+		t.Error("grand(a, c) not derived")
+	}
+	if db.Count("grand") != 1 {
+		t.Errorf("grand count = %d", db.Count("grand"))
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	e := NewEngine()
+	for _, edge := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}} {
+		e.Fact("edge", edge[0], edge[1])
+	}
+	e.MustRule(Rule{Head: A("path", V("X"), V("Y")), Body: []Literal{Pos(A("edge", V("X"), V("Y")))}})
+	e.MustRule(Rule{Head: A("path", V("X"), V("Z")),
+		Body: []Literal{Pos(A("edge", V("X"), V("Y"))), Pos(A("path", V("Y"), V("Z")))}})
+	db := run(t, e)
+	if db.Count("path") != 10 {
+		t.Errorf("path count = %d, want 10", db.Count("path"))
+	}
+	if !db.Has("path", "a", "e") {
+		t.Error("path(a, e) missing")
+	}
+}
+
+func TestNegationStratified(t *testing.T) {
+	e := NewEngine()
+	e.Fact("node", "a")
+	e.Fact("node", "b")
+	e.Fact("deleted", "b")
+	e.MustRule(Rule{Head: A("kept", V("X")),
+		Body: []Literal{Pos(A("node", V("X"))), Not(A("deleted", V("X")))}})
+	db := run(t, e)
+	if !db.Has("kept", "a") || db.Has("kept", "b") {
+		t.Errorf("kept = %v", db.All("kept"))
+	}
+}
+
+func TestNegationOverDerived(t *testing.T) {
+	// Two strata: reachable, then isolated = node ∧ ¬reachable.
+	e := NewEngine()
+	e.Fact("node", "a")
+	e.Fact("node", "b")
+	e.Fact("node", "c")
+	e.Fact("edge", "a", "b")
+	e.MustRule(Rule{Head: A("reachable", V("Y")), Body: []Literal{Pos(A("edge", V("X"), V("Y")))}})
+	e.MustRule(Rule{Head: A("isolated", V("X")),
+		Body: []Literal{Pos(A("node", V("X"))), Not(A("reachable", V("X")))}})
+	db := run(t, e)
+	want := [][]string{{"a"}, {"c"}}
+	if got := db.All("isolated"); !reflect.DeepEqual(got, want) {
+		t.Errorf("isolated = %v, want %v", got, want)
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	e := NewEngine()
+	e.Fact("thing", "a")
+	e.MustRule(Rule{Head: A("p", V("X")),
+		Body: []Literal{Pos(A("thing", V("X"))), Not(A("q", V("X")))}})
+	e.MustRule(Rule{Head: A("q", V("X")),
+		Body: []Literal{Pos(A("thing", V("X"))), Not(A("p", V("X")))}})
+	_, err := e.Run()
+	if !errors.Is(err, ErrNotStratified) {
+		t.Errorf("err = %v, want ErrNotStratified", err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	e := NewEngine()
+	e.Fact("val", "x", "10")
+	e.Fact("val", "y", "9")
+	e.Fact("val", "z", "10")
+	e.MustRule(Rule{Head: A("bigger", V("A"), V("B")),
+		Body: []Literal{Pos(A("val", V("A"), V("VA"))), Pos(A("val", V("B"), V("VB"))),
+			Pos(A("gt", V("VA"), V("VB")))}})
+	db := run(t, e)
+	// Numeric comparison: 10 > 9 (lexicographic would say "10" < "9").
+	if !db.Has("bigger", "x", "y") || !db.Has("bigger", "z", "y") {
+		t.Errorf("bigger = %v", db.All("bigger"))
+	}
+	if db.Has("bigger", "y", "x") || db.Has("bigger", "x", "z") {
+		t.Errorf("bigger has wrong tuples: %v", db.All("bigger"))
+	}
+}
+
+func TestBuiltinTable(t *testing.T) {
+	cases := []struct {
+		pred    string
+		a, b    string
+		want    bool
+	}{
+		{"gt", "2", "1", true}, {"gt", "1", "2", false}, {"gt", "b", "a", true},
+		{"lt", "1", "2", true}, {"lt", "10", "9", false}, // numeric, not lexicographic
+		{"geq", "2", "2", true}, {"leq", "2", "2", true},
+		{"eq", "a", "a", true}, {"eq", "a", "b", false},
+		{"neq", "a", "b", true}, {"neq", "a", "a", false},
+	}
+	for _, tc := range cases {
+		if got := builtins[tc.pred](tc.a, tc.b); got != tc.want {
+			t.Errorf("%s(%s, %s) = %v, want %v", tc.pred, tc.a, tc.b, got, tc.want)
+		}
+	}
+	if !IsBuiltin("gt") || IsBuiltin("node") {
+		t.Error("IsBuiltin wrong")
+	}
+}
+
+func TestNegatedBuiltin(t *testing.T) {
+	e := NewEngine()
+	e.Fact("v", "1")
+	e.Fact("v", "2")
+	e.MustRule(Rule{Head: A("pair", V("A"), V("B")),
+		Body: []Literal{Pos(A("v", V("A"))), Pos(A("v", V("B"))),
+			Not(A("eq", V("A"), V("B")))}})
+	db := run(t, e)
+	if db.Count("pair") != 2 {
+		t.Errorf("pair = %v", db.All("pair"))
+	}
+}
+
+func TestRuleSafety(t *testing.T) {
+	e := NewEngine()
+	bad := []Rule{
+		// Head variable not bound.
+		{Head: A("p", V("X")), Body: []Literal{Pos(A("q", V("Y")))}},
+		// Negated literal with unbound variable.
+		{Head: A("p", V("X")), Body: []Literal{Pos(A("q", V("X"))), Not(A("r", V("Z")))}},
+		// Builtin with unbound variable.
+		{Head: A("p", V("X")), Body: []Literal{Pos(A("q", V("X"))), Pos(A("gt", V("X"), V("W")))}},
+		// Builtin head.
+		{Head: A("gt", V("X"), V("X")), Body: []Literal{Pos(A("q", V("X")))}},
+	}
+	for i, r := range bad {
+		if err := e.AddRule(r); err == nil {
+			t.Errorf("rule %d accepted: %s", i, r)
+		}
+	}
+}
+
+func TestFactsForBuiltinRejected(t *testing.T) {
+	e := NewEngine()
+	e.Fact("gt", "1", "2")
+	if _, err := e.Run(); err == nil {
+		t.Error("facts for builtin accepted")
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	e := NewEngine()
+	e.Fact("rule", "accept", "read", "staff")
+	e.Fact("rule", "deny", "read", "secretary")
+	e.MustRule(Rule{Head: A("accepted", V("S")),
+		Body: []Literal{Pos(A("rule", C("accept"), C("read"), V("S")))}})
+	db := run(t, e)
+	if !db.Has("accepted", "staff") || db.Has("accepted", "secretary") {
+		t.Errorf("accepted = %v", db.All("accepted"))
+	}
+}
+
+func TestDBAccessors(t *testing.T) {
+	e := NewEngine()
+	e.Fact("b", "2")
+	e.Fact("a", "1")
+	db := run(t, e)
+	if got := db.Preds(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Preds = %v", got)
+	}
+	if db.Count("zzz") != 0 || db.All("zzz") != nil && len(db.All("zzz")) != 0 {
+		t.Error("missing predicate accessors wrong")
+	}
+}
+
+// --- text syntax ---------------------------------------------------------------
+
+func TestParseProgram(t *testing.T) {
+	e := MustParse(`
+		% the Fig. 3 subject facts, abridged
+		subject(staff). subject(secretary). subject(beaufort).
+		isa_edge(secretary, staff).
+		isa_edge(beaufort, secretary).
+
+		isa(S, S) :- subject(S).
+		isa(S, T) :- isa_edge(S, T).
+		isa(S, T) :- isa_edge(S, M), isa(M, T).
+	`)
+	db := run(t, e)
+	if !db.Has("isa", "beaufort", "staff") {
+		t.Error("transitive isa missing")
+	}
+	if !db.Has("isa", "staff", "staff") {
+		t.Error("reflexive isa missing")
+	}
+	if db.Count("isa") != 6 {
+		t.Errorf("isa count = %d, want 6", db.Count("isa"))
+	}
+}
+
+func TestParseQuotedAndNumbers(t *testing.T) {
+	e := MustParse(`
+		rule(accept, read, "//diagnosis/node()", secretary, 11).
+		prio(T) :- rule(accept, read, P, S, T).
+	`)
+	db := run(t, e)
+	if !db.Has("prio", "11") {
+		t.Errorf("prio = %v", db.All("prio"))
+	}
+	if !db.Has("rule", "accept", "read", "//diagnosis/node()", "secretary", "11") {
+		t.Error("quoted path constant lost")
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	e := MustParse(`
+		n(a). n(b). bad(b).
+		good(X) :- n(X), not bad(X).
+		% "nothing" starts with the word not but is a predicate
+		nothing(a).
+		also(X) :- nothing(X).
+	`)
+	db := run(t, e)
+	if !db.Has("good", "a") || db.Has("good", "b") {
+		t.Errorf("good = %v", db.All("good"))
+	}
+	if !db.Has("also", "a") {
+		t.Error("predicate starting with 'not' mishandled")
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	e := MustParse(`s("a\"b").
+		t(X) :- s(X).`)
+	db := run(t, e)
+	if !db.Has("t", `a"b`) {
+		t.Errorf("t = %v", db.All("t"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`p(X).`,          // fact with variable
+		`p(a) :- .`,      // empty body
+		`p(a)`,           // missing period
+		`p(a :- q(a).`,   // bad arg list
+		`:- q(a).`,       // missing head
+		`p("unterminated).`,
+		`p(a) :- q(a) r(a).`, // missing comma
+		`p(X) :- not q(X).`,  // unsafe
+		`p("bad\`,            // unterminated escape
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rules := []string{
+		`grand(X, Z) :- parent(X, Y), parent(Y, Z).`,
+		`kept(X) :- node(X, V), not deleted(X).`,
+		`perm(S, N, R) :- rulef(accept, R, P, S2, T), isa(S, S2), xpathf(P, N), not defeated(S2, N, R, T).`,
+	}
+	for _, src := range rules {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(e.Rules()) != 1 {
+			t.Fatalf("%q: %d rules", src, len(e.Rules()))
+		}
+		rendered := e.Rules()[0].String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if e2.Rules()[0].String() != rendered {
+			t.Errorf("unstable rendering: %q -> %q", rendered, e2.Rules()[0].String())
+		}
+	}
+	// Term rendering quotes when needed.
+	if C("has space").String() != `"has space"` {
+		t.Errorf("C quoting: %s", C("has space"))
+	}
+	if C("plain").String() != "plain" {
+		t.Errorf("C plain: %s", C("plain"))
+	}
+	if V("X").String() != "X" {
+		t.Errorf("V: %s", V("X"))
+	}
+	if Not(A("p", C("a"))).String() != "not p(a)" {
+		t.Errorf("Not: %s", Not(A("p", C("a"))))
+	}
+	if (Rule{Head: A("f", C("a"))}).String() != "f(a)." {
+		t.Error("fact rendering")
+	}
+	if A("prop").String() != "prop" {
+		t.Error("propositional atom rendering")
+	}
+}
+
+// TestQuickClosureMonotone: on random edge sets, the derived transitive
+// closure contains the edges and is transitively closed — a soundness
+// property of the fixpoint evaluation.
+func TestQuickClosureMonotone(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		e := NewEngine()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		type edge struct{ x, y string }
+		var edges []edge
+		for _, p := range pairs {
+			x := names[int(p)%len(names)]
+			y := names[int(p/8)%len(names)]
+			e.Fact("edge", x, y)
+			edges = append(edges, edge{x, y})
+		}
+		e.MustRule(Rule{Head: A("path", V("X"), V("Y")), Body: []Literal{Pos(A("edge", V("X"), V("Y")))}})
+		e.MustRule(Rule{Head: A("path", V("X"), V("Z")),
+			Body: []Literal{Pos(A("path", V("X"), V("Y"))), Pos(A("path", V("Y"), V("Z")))}})
+		db, err := e.Run()
+		if err != nil {
+			return false
+		}
+		for _, ed := range edges {
+			if !db.Has("path", ed.x, ed.y) {
+				return false
+			}
+		}
+		for _, p := range db.All("path") {
+			for _, q := range db.All("path") {
+				if p[1] == q[0] && !db.Has("path", p[0], q[1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeJoinTerminates(t *testing.T) {
+	// A linear chain of 60 nodes: the naive fixpoint must converge quickly.
+	var b strings.Builder
+	for i := 0; i < 60; i++ {
+		b.WriteString("edge(n")
+		b.WriteString(strings.Repeat("x", i%3)) // vary names slightly
+		b.WriteString(string(rune('a'+i%26)) + itoa(i) + ", n" + strings.Repeat("x", (i+1)%3) + string(rune('a'+(i+1)%26)) + itoa(i+1) + ").\n")
+	}
+	e, err := Parse(b.String() + `
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- edge(X, Y), path(Y, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := run(t, e)
+	if db.Count("path") != 60*61/2 {
+		t.Errorf("path count = %d, want %d", db.Count("path"), 60*61/2)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for ; i > 0; i /= 10 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+	}
+	return string(digits)
+}

@@ -1,0 +1,36 @@
+package datalog
+
+import "testing"
+
+// FuzzParse checks the Datalog text parser never panics, and that accepted
+// programs render back to parseable text.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"p(X) :- q(X).",
+		"p(X) :- q(X), not r(X).",
+		`p("quoted \" string").`,
+		"p(a) :- q(a), gt(1, 2).",
+		"% comment only",
+		"p(a). q(b). r(X, Y) :- p(X), q(Y).",
+		"p(", ":-", "p(a)", "p(a) :-", "not p(a).", `p(").`, "p(a))).",
+		"p(a,b,c,d,e,f,g,h).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, r := range e.Rules() {
+			if _, err := Parse(r.String()); err != nil {
+				t.Fatalf("accepted rule %q does not reparse: %v", r.String(), err)
+			}
+		}
+		// Tiny programs must also evaluate without panicking (they may
+		// legitimately fail stratification).
+		_, _ = e.Run()
+	})
+}

@@ -1,0 +1,136 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	var log strings.Builder
+	jw := NewWriter(&log, 0)
+	docs := []struct{ user, mods string }{
+		{"alice", "<xupdate:modifications><xupdate:remove select=\"/a\"/></xupdate:modifications>"},
+		{"bob", "<xupdate:modifications>\n  multi\n  line\n</xupdate:modifications>"},
+		{"alice", "<xupdate:modifications/>"},
+	}
+	for i, d := range docs {
+		seq, err := jw.Append(d.user, d.mods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Errorf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if jw.Seq() != 3 {
+		t.Errorf("Seq = %d", jw.Seq())
+	}
+	entries, err := Read(strings.NewReader(log.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(docs) {
+		t.Fatalf("%d entries, want %d", len(entries), len(docs))
+	}
+	for i, e := range entries {
+		if e.User != docs[i].user || e.Modifications != docs[i].mods || e.Seq != uint64(i+1) {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+func TestSeqContinuation(t *testing.T) {
+	var log strings.Builder
+	jw := NewWriter(&log, 41)
+	seq, err := jw.Append("u", "<xupdate:modifications/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Errorf("seq = %d, want 42", seq)
+	}
+}
+
+func TestAppendRejectsFramingBytes(t *testing.T) {
+	jw := NewWriter(&strings.Builder{}, 0)
+	if _, err := jw.Append("user with space", "<x/>"); err == nil {
+		t.Error("user with space accepted")
+	}
+	if _, err := jw.Append("user\nnewline", "<x/>"); err == nil {
+		t.Error("user with newline accepted")
+	}
+}
+
+func TestReadTornTailKeepsPrefix(t *testing.T) {
+	var log strings.Builder
+	jw := NewWriter(&log, 0)
+	if _, err := jw.Append("u", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jw.Append("u", "<b/>"); err != nil {
+		t.Fatal(err)
+	}
+	full := log.String()
+	torn := full[:len(full)-3] // crash mid-entry
+	entries, err := Read(strings.NewReader(torn))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if len(entries) != 1 || entries[0].Modifications != "<a/>" {
+		t.Errorf("prefix = %+v", entries)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"garbage header\nbody\n",
+		"entry x u 4\nabcd\n",
+		"entry 1 u notanumber\nabcd\n",
+		"entry 1 u 4\nabcdX", // missing terminator
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("Read(%q) err = %v, want ErrCorrupt", src, err)
+		}
+	}
+	// Empty journals and trailing blank lines are fine.
+	if es, err := Read(strings.NewReader("")); err != nil || len(es) != 0 {
+		t.Errorf("empty journal: %v %v", es, err)
+	}
+}
+
+type fakeApplier struct {
+	applied []string
+	failAt  int
+}
+
+func (f *fakeApplier) ApplyAs(user, mods string) error {
+	if f.failAt > 0 && len(f.applied)+1 == f.failAt {
+		return fmt.Errorf("boom")
+	}
+	f.applied = append(f.applied, user+":"+mods)
+	return nil
+}
+
+func TestReplay(t *testing.T) {
+	entries := []Entry{
+		{Seq: 5, User: "a", Modifications: "<one/>"},
+		{Seq: 6, User: "b", Modifications: "<two/>"},
+	}
+	f := &fakeApplier{}
+	applied, last, err := Replay(f, entries)
+	if err != nil || applied != 2 || last != 6 {
+		t.Fatalf("Replay = %d, %d, %v", applied, last, err)
+	}
+	if f.applied[0] != "a:<one/>" || f.applied[1] != "b:<two/>" {
+		t.Errorf("applied = %v", f.applied)
+	}
+	// Failure stops and reports position.
+	f2 := &fakeApplier{failAt: 2}
+	applied, last, err = Replay(f2, entries)
+	if err == nil || applied != 1 || last != 5 {
+		t.Errorf("failed replay = %d, %d, %v", applied, last, err)
+	}
+}

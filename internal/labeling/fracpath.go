@@ -1,0 +1,246 @@
+package labeling
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fracDigits is the base-36 digit alphabet used by fracpath keys. Byte order
+// of the digits equals numeric order, so lexicographic comparison of digit
+// strings of equal length equals numeric comparison.
+const fracDigits = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// FracPath is a fractional-indexing key scheme with a variable-length
+// integer part. It is the package's primary scheme and our substitute for
+// the (unavailable) Gabillon–Fansi persistent labelling scheme [12]: keys
+// are assigned once, never rewritten, and appending n siblings produces keys
+// of length O(log n) rather than O(n).
+//
+// Key grammar (byte order of keys equals sibling order):
+//
+//	key      = subzero | headed
+//	subzero  = 1*DIGIT                ; not ending in '0'; value in (0,1)
+//	headed   = head int [frac]
+//	head     = 'a'..'z'               ; 'a'+k means k+1 integer digits
+//	int      = (k+1)*DIGIT            ; base-36 integer, fixed width
+//	frac     = 1*DIGIT                ; not ending in '0'
+//	DIGIT    = '0'-'9' / 'A'-'Z'
+//
+// Subzero keys sort before all headed keys because ASCII digits and capitals
+// precede lowercase head letters. Within headed keys, a longer integer part
+// has a later head letter, so byte order equals numeric order. The fraction
+// extends a key, and an extension sorts after its prefix, which again
+// matches numeric order for fractions (no trailing zero digits).
+type FracPath struct{}
+
+// NewFracPath returns the fracpath scheme. The scheme is stateless; the
+// value may be shared freely.
+func NewFracPath() *FracPath { return &FracPath{} }
+
+// Name implements Scheme.
+func (*FracPath) Name() string { return "fracpath" }
+
+// First implements Scheme. The genesis key is "a0" (integer 0, no fraction).
+func (*FracPath) First() (string, error) { return "a0", nil }
+
+// Validate implements Scheme.
+func (*FracPath) Validate(s string) error {
+	if s == "" {
+		return fmt.Errorf("fracpath: empty key")
+	}
+	head := s[0]
+	if isFracDigit(head) {
+		// Subzero pure-fraction key.
+		return validateFrac(s, "fracpath: subzero key")
+	}
+	if head < 'a' || head > 'z' {
+		return fmt.Errorf("fracpath: key %q has invalid head byte %q", s, head)
+	}
+	width := int(head-'a') + 1
+	if len(s) < 1+width {
+		return fmt.Errorf("fracpath: key %q shorter than its declared integer width %d", s, width)
+	}
+	for i := 1; i <= width; i++ {
+		if !isFracDigit(s[i]) {
+			return fmt.Errorf("fracpath: key %q has non-digit %q in integer part", s, s[i])
+		}
+	}
+	if width > 1 && s[1] == '0' {
+		return fmt.Errorf("fracpath: key %q has a non-minimal integer part", s)
+	}
+	if frac := s[1+width:]; frac != "" {
+		return validateFrac(frac, "fracpath: fraction of key "+s)
+	}
+	return nil
+}
+
+func validateFrac(frac, what string) error {
+	for i := 0; i < len(frac); i++ {
+		if !isFracDigit(frac[i]) {
+			return fmt.Errorf("%s: non-digit byte %q", what, frac[i])
+		}
+	}
+	if frac[len(frac)-1] == '0' {
+		return fmt.Errorf("%s: must not end in '0'", what)
+	}
+	return nil
+}
+
+func isFracDigit(b byte) bool {
+	return (b >= '0' && b <= '9') || (b >= 'A' && b <= 'Z')
+}
+
+func fracDigitVal(b byte) int {
+	if b >= '0' && b <= '9' {
+		return int(b - '0')
+	}
+	return int(b-'A') + 10
+}
+
+// Between implements Scheme.
+func (f *FracPath) Between(lo, hi string) (string, error) {
+	if lo != "" {
+		if err := f.Validate(lo); err != nil {
+			return "", err
+		}
+	}
+	if hi != "" {
+		if err := f.Validate(hi); err != nil {
+			return "", err
+		}
+	}
+	switch {
+	case lo == "" && hi == "":
+		return f.First()
+	case hi == "":
+		return fracAfter(lo)
+	case lo == "":
+		return fracBefore(hi)
+	}
+	if lo >= hi {
+		return "", fmt.Errorf("%w: lo=%q hi=%q", ErrBadBounds, lo, hi)
+	}
+	loSub, hiSub := isFracDigit(lo[0]), isFracDigit(hi[0])
+	switch {
+	case loSub && hiSub:
+		return fracMid(lo, hi), nil
+	case loSub && !hiSub:
+		// Any headed key below hi works; prefer the smallest integer.
+		if hi > "a0" {
+			return "a0", nil
+		}
+		// hi is exactly "a0": stay in subzero space above lo.
+		return fracMid(lo, ""), nil
+	case !loSub && hiSub:
+		return "", fmt.Errorf("%w: headed lo=%q above subzero hi=%q", ErrBadBounds, lo, hi)
+	}
+	// Both headed.
+	li, lif := splitHeaded(lo)
+	hiI, hif := splitHeaded(hi)
+	switch {
+	case hiI >= li+2:
+		return headedKey(li + 1)
+	case hiI == li+1:
+		// Extend lo's integer with a fraction above lo's fraction.
+		k, err := headedKey(li)
+		if err != nil {
+			return "", err
+		}
+		return k + fracMid(lif, ""), nil
+	default: // hiI == li
+		k, err := headedKey(li)
+		if err != nil {
+			return "", err
+		}
+		return k + fracMid(lif, hif), nil
+	}
+}
+
+// fracAfter returns a key strictly greater than lo: the next integer.
+func fracAfter(lo string) (string, error) {
+	if isFracDigit(lo[0]) {
+		return "a0", nil // any headed key exceeds a subzero key
+	}
+	n, _ := splitHeaded(lo)
+	return headedKey(n + 1)
+}
+
+// fracBefore returns a key strictly smaller than hi: the previous integer,
+// or a subzero fraction when hi's integer part is already 0.
+func fracBefore(hi string) (string, error) {
+	if isFracDigit(hi[0]) {
+		return fracMid("", hi), nil
+	}
+	n, _ := splitHeaded(hi)
+	if n > 0 {
+		return headedKey(n - 1)
+	}
+	// hi is "a0" or "a0<frac>": drop into subzero space.
+	return fracMid("", ""), nil
+}
+
+// splitHeaded decodes a headed key into its integer value and fraction.
+func splitHeaded(key string) (n uint64, frac string) {
+	width := int(key[0]-'a') + 1
+	for i := 1; i <= width; i++ {
+		n = n*36 + uint64(fracDigitVal(key[i]))
+	}
+	return n, key[1+width:]
+}
+
+// headedKey encodes integer n as a minimal-width headed key.
+func headedKey(n uint64) (string, error) {
+	digits := make([]byte, 0, 14)
+	if n == 0 {
+		digits = append(digits, '0')
+	}
+	for v := n; v > 0; v /= 36 {
+		digits = append(digits, fracDigits[v%36])
+	}
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	if len(digits) > 26 {
+		return "", fmt.Errorf("fracpath: integer part overflow for %d", n)
+	}
+	var b strings.Builder
+	b.WriteByte(byte('a' + len(digits) - 1))
+	b.Write(digits)
+	return b.String(), nil
+}
+
+// fracMid returns a fraction string strictly between a and b in byte order.
+// a == "" is the exclusive lower bound 0, b == "" the upper bound 1. The
+// result never ends in '0', so it remains extendable on both sides.
+// Preconditions: a < b when both are non-empty, and neither ends in '0'.
+func fracMid(a, b string) string {
+	if b != "" {
+		// Strip the common prefix; the midpoint shares it.
+		n := 0
+		for n < len(a) && n < len(b) && a[n] == b[n] {
+			n++
+		}
+		if n > 0 {
+			return b[:n] + fracMid(a[n:], b[n:])
+		}
+	}
+	// First digits now differ (or a bound is empty/exhausted).
+	digA := 0
+	if a != "" {
+		digA = fracDigitVal(a[0])
+	}
+	digB := len(fracDigits)
+	if b != "" {
+		digB = fracDigitVal(b[0])
+	}
+	if digB-digA > 1 {
+		return string(fracDigits[(digA+digB)/2])
+	}
+	// Consecutive (or equal-with-empty-a) leading digits: keep a's digit and
+	// recurse into the tail with an open upper bound, or keep b's digit side.
+	if a != "" {
+		return a[:1] + fracMid(a[1:], "")
+	}
+	// a is empty; b starts with digit 0 or 1.
+	return string(fracDigits[digA]) + fracMid("", b[1:])
+}

@@ -1,0 +1,264 @@
+// Package labeling implements persistent node-numbering schemes for XML
+// trees, as required by §3.1 of Gabillon's formal access control model:
+// identifiers assigned to nodes never change across updates, and all tree
+// relationships (parent, ancestor, sibling order, document order) are
+// derivable from the identifiers alone.
+//
+// A node identifier is a Label: a path of sibling keys, one per tree level.
+// Sibling keys are produced by a Scheme. Every Scheme must emit keys whose
+// plain byte-wise order equals sibling order; Label relies on that invariant
+// so that geometry tests are scheme-independent.
+//
+// Two schemes ship with the package:
+//
+//   - fracpath: fractional-indexed keys with a variable-length integer part,
+//     so appending n siblings yields keys of length O(log n). This is our
+//     stand-in for the Gabillon–Fansi persistent scheme the paper cites.
+//   - lsdx: an LSDX-style alphabetic scheme (Duong & Zhang), where appends
+//     extend a letter sequence and grow linearly on hot spots. Shipped for
+//     the ablation benchmark.
+package labeling
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Scheme generates sibling keys. Keys are non-empty strings whose byte-wise
+// lexicographic order is the sibling order. Keys, once handed out, are never
+// re-issued or rewritten (persistence).
+type Scheme interface {
+	// Name identifies the scheme ("fracpath", "lsdx").
+	Name() string
+	// First returns the key for the first child inserted under a parent
+	// that has no children yet. Equivalent to Between("", "").
+	First() (string, error)
+	// Between returns a fresh key strictly between lo and hi in byte order.
+	// lo == "" means "before the first existing sibling" and hi == "" means
+	// "after the last existing sibling". When both are empty any key may be
+	// returned. Between fails if lo >= hi (with both non-empty) or if either
+	// bound is not a valid key of the scheme.
+	Between(lo, hi string) (string, error)
+	// Validate reports whether s is a well-formed key of this scheme.
+	Validate(s string) error
+}
+
+// ErrBadBounds is returned by Between when lo >= hi.
+var ErrBadBounds = errors.New("labeling: lo must be strictly less than hi")
+
+// Label identifies one node in a document: a path of sibling keys from the
+// root element down to the node. The document node is the empty Label.
+//
+// Geometry is purely positional: m is a descendant of l iff l is a strict
+// component-wise prefix of m; document order is component-wise byte order
+// with prefixes first. These relations depend only on the Label values, so
+// they survive arbitrary document updates, as §3.1 requires.
+type Label []string
+
+// DocumentLabel is the label of the document node ("/" in the paper).
+var DocumentLabel = Label{}
+
+// String renders the label in the canonical "/k1/k2/..." form; the document
+// node renders as "/".
+func (l Label) String() string {
+	if len(l) == 0 {
+		return "/"
+	}
+	var b strings.Builder
+	for _, k := range l {
+		b.WriteByte('/')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Parse parses the canonical form produced by String.
+func Parse(s string) (Label, error) {
+	if s == "" {
+		return nil, errors.New("labeling: empty label text")
+	}
+	if s == "/" {
+		return DocumentLabel, nil
+	}
+	if s[0] != '/' {
+		return nil, fmt.Errorf("labeling: label %q must start with '/'", s)
+	}
+	parts := strings.Split(s[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("labeling: label %q has an empty component", s)
+		}
+	}
+	return Label(parts), nil
+}
+
+// Level is the depth of the node: 0 for the document node, 1 for the root
+// element, and so on.
+func (l Label) Level() int { return len(l) }
+
+// Clone returns an independent copy of l.
+func (l Label) Clone() Label {
+	if l == nil {
+		return nil
+	}
+	c := make(Label, len(l))
+	copy(c, l)
+	return c
+}
+
+// Child returns the label of a child of l carrying sibling key key.
+func (l Label) Child(key string) Label {
+	c := make(Label, len(l)+1)
+	copy(c, l)
+	c[len(l)] = key
+	return c
+}
+
+// Parent returns the label of l's parent. ok is false for the document node,
+// which has no parent.
+func (l Label) Parent() (parent Label, ok bool) {
+	if len(l) == 0 {
+		return nil, false
+	}
+	return l[:len(l)-1:len(l)-1], true
+}
+
+// Key returns the node's own sibling key (the last component). ok is false
+// for the document node.
+func (l Label) Key() (key string, ok bool) {
+	if len(l) == 0 {
+		return "", false
+	}
+	return l[len(l)-1], true
+}
+
+// Equal reports whether l and m identify the same node.
+func (l Label) Equal(m Label) bool {
+	if len(l) != len(m) {
+		return false
+	}
+	for i := range l {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestorOf reports whether l is a strict ancestor of m.
+func (l Label) IsAncestorOf(m Label) bool {
+	if len(l) >= len(m) {
+		return false
+	}
+	for i := range l {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDescendantOf reports whether l is a strict descendant of m.
+func (l Label) IsDescendantOf(m Label) bool { return m.IsAncestorOf(l) }
+
+// IsParentOf reports whether l is the parent of m.
+func (l Label) IsParentOf(m Label) bool {
+	return len(m) == len(l)+1 && l.IsAncestorOf(m)
+}
+
+// IsChildOf reports whether l is a child of m.
+func (l Label) IsChildOf(m Label) bool { return m.IsParentOf(l) }
+
+// IsSiblingOf reports whether l and m are distinct nodes sharing a parent.
+func (l Label) IsSiblingOf(m Label) bool {
+	if len(l) == 0 || len(l) != len(m) || l.Equal(m) {
+		return false
+	}
+	for i := 0; i < len(l)-1; i++ {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders labels in document order: ancestors precede descendants,
+// and siblings are ordered by their keys. Returns -1, 0 or +1.
+func (l Label) Compare(m Label) int {
+	n := len(l)
+	if len(m) < n {
+		n = len(m)
+	}
+	for i := 0; i < n; i++ {
+		if c := strings.Compare(l[i], m[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(l) < len(m):
+		return -1
+	case len(l) > len(m):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Relation names the positional relationship of one node to another, as in
+// the tree geometry predicates of §3.2.
+type Relation int
+
+// Geometry relations between a node a and a node b, in the direction
+// "a is <relation> of b".
+const (
+	RelSelf Relation = iota
+	RelChild
+	RelParent
+	RelDescendant // strict, excludes child? no: includes all strict descendants
+	RelAncestor   // strict
+	RelFollowingSibling
+	RelPrecedingSibling
+	RelFollowing // document order after b, not a descendant of b
+	RelPreceding // document order before b, not an ancestor of b
+)
+
+// Holds reports whether relation rel holds between a and b ("a rel b"), using
+// only the labels. RelDescendant and RelAncestor are strict; RelChild implies
+// RelDescendant and RelParent implies RelAncestor.
+func Holds(rel Relation, a, b Label) bool {
+	switch rel {
+	case RelSelf:
+		return a.Equal(b)
+	case RelChild:
+		return a.IsChildOf(b)
+	case RelParent:
+		return a.IsParentOf(b)
+	case RelDescendant:
+		return a.IsDescendantOf(b)
+	case RelAncestor:
+		return a.IsAncestorOf(b)
+	case RelFollowingSibling:
+		return a.IsSiblingOf(b) && a.Compare(b) > 0
+	case RelPrecedingSibling:
+		return a.IsSiblingOf(b) && a.Compare(b) < 0
+	case RelFollowing:
+		return a.Compare(b) > 0 && !a.IsDescendantOf(b)
+	case RelPreceding:
+		return a.Compare(b) < 0 && !a.IsAncestorOf(b)
+	default:
+		return false
+	}
+}
+
+// ByName returns the scheme registered under name.
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "fracpath":
+		return NewFracPath(), nil
+	case "lsdx":
+		return NewLSDX(), nil
+	default:
+		return nil, fmt.Errorf("labeling: unknown scheme %q", name)
+	}
+}

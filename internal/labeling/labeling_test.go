@@ -1,0 +1,456 @@
+package labeling
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDocumentLabel(t *testing.T) {
+	if got := DocumentLabel.String(); got != "/" {
+		t.Errorf("DocumentLabel.String() = %q, want %q", got, "/")
+	}
+	if DocumentLabel.Level() != 0 {
+		t.Errorf("DocumentLabel.Level() = %d, want 0", DocumentLabel.Level())
+	}
+	if _, ok := DocumentLabel.Parent(); ok {
+		t.Error("DocumentLabel.Parent() ok = true, want false")
+	}
+	if _, ok := DocumentLabel.Key(); ok {
+		t.Error("DocumentLabel.Key() ok = true, want false")
+	}
+}
+
+func TestLabelStringParseRoundTrip(t *testing.T) {
+	cases := []Label{
+		{},
+		{"a0"},
+		{"a0", "a1"},
+		{"a0", "a1", "b10"},
+		{"b", "zb", "bn"},
+	}
+	for _, l := range cases {
+		s := l.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !got.Equal(l) {
+			t.Errorf("Parse(%q) = %v, want %v", s, got, l)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "a0", "/a0/", "//", "/a0//a1"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", s)
+		}
+	}
+}
+
+func TestLabelGeometry(t *testing.T) {
+	doc := DocumentLabel
+	root := doc.Child("a0")
+	kid1 := root.Child("a0")
+	kid2 := root.Child("a1")
+	grand := kid1.Child("a0")
+
+	tests := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"root child of doc", root.IsChildOf(doc), true},
+		{"doc parent of root", doc.IsParentOf(root), true},
+		{"kid1 descendant of doc", kid1.IsDescendantOf(doc), true},
+		{"doc ancestor of grand", doc.IsAncestorOf(grand), true},
+		{"root not ancestor of itself", root.IsAncestorOf(root), false},
+		{"kid1 sibling of kid2", kid1.IsSiblingOf(kid2), true},
+		{"kid1 not sibling of itself", kid1.IsSiblingOf(kid1), false},
+		{"kid1 not sibling of grand", kid1.IsSiblingOf(grand), false},
+		{"grand child of kid1", grand.IsChildOf(kid1), true},
+		{"grand not child of root", grand.IsChildOf(root), false},
+	}
+	for _, tc := range tests {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestLabelCompareDocumentOrder(t *testing.T) {
+	doc := DocumentLabel
+	root := doc.Child("a0")
+	kid1 := root.Child("a0")
+	kid2 := root.Child("a1")
+	grand := kid1.Child("a0")
+
+	// Document order: / < /a0 < /a0/a0 < /a0/a0/a0 < /a0/a1.
+	ordered := []Label{doc, root, kid1, grand, kid2}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestHoldsRelations(t *testing.T) {
+	root := DocumentLabel.Child("a0")
+	a := root.Child("a0")
+	b := root.Child("a1")
+	aa := a.Child("a0")
+
+	tests := []struct {
+		rel  Relation
+		x, y Label
+		want bool
+	}{
+		{RelSelf, a, a, true},
+		{RelSelf, a, b, false},
+		{RelChild, a, root, true},
+		{RelParent, root, a, true},
+		{RelDescendant, aa, root, true},
+		{RelAncestor, root, aa, true},
+		{RelFollowingSibling, b, a, true},
+		{RelFollowingSibling, a, b, false},
+		{RelPrecedingSibling, a, b, true},
+		{RelFollowing, b, aa, true},   // b after aa, not a descendant of aa
+		{RelFollowing, aa, a, false},  // aa is a descendant of a
+		{RelPreceding, aa, b, true},   // aa before b, not an ancestor of b
+		{RelPreceding, a, aa, false},  // a is an ancestor of aa
+		{RelPreceding, root, b, false} /* ancestor */, {Relation(99), a, b, false},
+	}
+	for _, tc := range tests {
+		if got := Holds(tc.rel, tc.x, tc.y); got != tc.want {
+			t.Errorf("Holds(%d, %v, %v) = %v, want %v", tc.rel, tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"fracpath", "lsdx"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope): expected error")
+	}
+}
+
+// schemes under test for the shared scheme contract.
+func allSchemes() []Scheme { return []Scheme{NewFracPath(), NewLSDX()} }
+
+func TestSchemeFirstIsValid(t *testing.T) {
+	for _, s := range allSchemes() {
+		k, err := s.First()
+		if err != nil {
+			t.Fatalf("%s: First: %v", s.Name(), err)
+		}
+		if err := s.Validate(k); err != nil {
+			t.Errorf("%s: First() = %q invalid: %v", s.Name(), k, err)
+		}
+	}
+}
+
+func TestSchemeBetweenRejectsBadBounds(t *testing.T) {
+	for _, s := range allSchemes() {
+		first, _ := s.First()
+		if _, err := s.Between(first, first); err == nil {
+			t.Errorf("%s: Between(k, k) should fail", s.Name())
+		}
+		next, err := s.Between(first, "")
+		if err != nil {
+			t.Fatalf("%s: Between(first, inf): %v", s.Name(), err)
+		}
+		if _, err := s.Between(next, first); err == nil {
+			t.Errorf("%s: Between(hi, lo) should fail", s.Name())
+		}
+	}
+}
+
+func TestSchemeBetweenRejectsInvalidKeys(t *testing.T) {
+	for _, s := range allSchemes() {
+		if _, err := s.Between("!bad", ""); err == nil {
+			t.Errorf("%s: Between with invalid lo should fail", s.Name())
+		}
+		if _, err := s.Between("", "!bad"); err == nil {
+			t.Errorf("%s: Between with invalid hi should fail", s.Name())
+		}
+	}
+}
+
+// TestSchemeAppendChain appends many keys and checks strict monotonicity and
+// validity — the common "append child" path of document building.
+func TestSchemeAppendChain(t *testing.T) {
+	for _, s := range allSchemes() {
+		prev := ""
+		for i := 0; i < 5000; i++ {
+			k, err := s.Between(prev, "")
+			if err != nil {
+				t.Fatalf("%s: append %d: %v", s.Name(), i, err)
+			}
+			if err := s.Validate(k); err != nil {
+				t.Fatalf("%s: append %d produced invalid key %q: %v", s.Name(), i, k, err)
+			}
+			if prev != "" && k <= prev {
+				t.Fatalf("%s: append %d: key %q not greater than %q", s.Name(), i, k, prev)
+			}
+			prev = k
+		}
+	}
+}
+
+// TestSchemePrependChain repeatedly inserts before the smallest key.
+func TestSchemePrependChain(t *testing.T) {
+	for _, s := range allSchemes() {
+		prev := ""
+		for i := 0; i < 500; i++ {
+			k, err := s.Between("", prev)
+			if err != nil {
+				t.Fatalf("%s: prepend %d (hi=%q): %v", s.Name(), i, prev, err)
+			}
+			if err := s.Validate(k); err != nil {
+				t.Fatalf("%s: prepend %d produced invalid key %q: %v", s.Name(), i, k, err)
+			}
+			if prev != "" && k >= prev {
+				t.Fatalf("%s: prepend %d: key %q not smaller than %q", s.Name(), i, k, prev)
+			}
+			prev = k
+		}
+	}
+}
+
+// TestSchemeMidsplitChain repeatedly splits the same gap — the adversarial
+// hot-spot insertion pattern.
+func TestSchemeMidsplitChain(t *testing.T) {
+	for _, s := range allSchemes() {
+		lo, err := s.First()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := s.Between(lo, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			mid, err := s.Between(lo, hi)
+			if err != nil {
+				t.Fatalf("%s: split %d between %q and %q: %v", s.Name(), i, lo, hi, err)
+			}
+			if err := s.Validate(mid); err != nil {
+				t.Fatalf("%s: split %d produced invalid key %q: %v", s.Name(), i, mid, err)
+			}
+			if !(lo < mid && mid < hi) {
+				t.Fatalf("%s: split %d: %q not strictly between %q and %q", s.Name(), i, mid, lo, hi)
+			}
+			if i%2 == 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+}
+
+// TestSchemeRandomInsertionOrder builds a large ordered sequence by inserting
+// at random positions and verifies the keys stay sorted and unique.
+func TestSchemeRandomInsertionOrder(t *testing.T) {
+	for _, s := range allSchemes() {
+		rng := rand.New(rand.NewSource(42))
+		keys := []string{}
+		for i := 0; i < 2000; i++ {
+			pos := rng.Intn(len(keys) + 1)
+			lo, hi := "", ""
+			if pos > 0 {
+				lo = keys[pos-1]
+			}
+			if pos < len(keys) {
+				hi = keys[pos]
+			}
+			k, err := s.Between(lo, hi)
+			if err != nil {
+				t.Fatalf("%s: insert %d at %d (lo=%q hi=%q): %v", s.Name(), i, pos, lo, hi, err)
+			}
+			keys = append(keys[:pos:pos], append([]string{k}, keys[pos:]...)...)
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("%s: keys not sorted after random insertion", s.Name())
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				t.Fatalf("%s: duplicate key %q", s.Name(), keys[i])
+			}
+		}
+	}
+}
+
+// quick-check: Between really is strictly between for arbitrary bound pairs
+// drawn from generated key populations.
+func TestQuickBetweenStrict(t *testing.T) {
+	for _, s := range allSchemes() {
+		s := s
+		// Generate a pool of valid keys first.
+		pool := []string{}
+		prev := ""
+		for i := 0; i < 200; i++ {
+			k, err := s.Between(prev, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, k)
+			prev = k
+		}
+		f := func(i, j uint16) bool {
+			a := pool[int(i)%len(pool)]
+			b := pool[int(j)%len(pool)]
+			if a > b {
+				a, b = b, a
+			}
+			if a == b {
+				return true // nothing to check
+			}
+			mid, err := s.Between(a, b)
+			if err != nil {
+				return false
+			}
+			return a < mid && mid < b && s.Validate(mid) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestFracPathValidate(t *testing.T) {
+	fp := NewFracPath()
+	valid := []string{"a0", "a5", "aZ", "b10", "cZZZ"[:3] + "0", "a0I", "5", "2X", "a9ZZ"}
+	for _, k := range valid {
+		if err := fp.Validate(k); err != nil {
+			t.Errorf("Validate(%q): unexpected error %v", k, err)
+		}
+	}
+	invalid := []string{"", "a", "b1", "b05", "a00", "!", "a5a", "0", "10", "a5 ", "A"[:1] + "a"}
+	for _, k := range invalid {
+		if err := fp.Validate(k); err == nil {
+			t.Errorf("Validate(%q): expected error", k)
+		}
+	}
+}
+
+func TestFracPathAppendGrowsLogarithmically(t *testing.T) {
+	fp := NewFracPath()
+	prev := ""
+	var k string
+	var err error
+	for i := 0; i < 10000; i++ {
+		k, err = fp.Between(prev, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = k
+	}
+	if len(k) > 6 {
+		t.Errorf("fracpath: 10000th append key %q has length %d, want <= 6", k, len(k))
+	}
+}
+
+func TestLSDXValidate(t *testing.T) {
+	x := NewLSDX()
+	for _, k := range []string{"b", "z", "zb", "ann"[:2] + "b", "bcd"} {
+		if err := x.Validate(k); err != nil {
+			t.Errorf("Validate(%q): unexpected error %v", k, err)
+		}
+	}
+	for _, k := range []string{"", "a", "ba", "B", "b1", "b b"} {
+		if err := x.Validate(k); err == nil {
+			t.Errorf("Validate(%q): expected error", k)
+		}
+	}
+}
+
+func TestLSDXAppendRule(t *testing.T) {
+	x := NewLSDX()
+	cases := []struct{ lo, want string }{
+		{"b", "c"},
+		{"y", "z"},
+		{"z", "zb"},
+		{"zz", "zzb"},
+		{"bc", "bd"},
+	}
+	for _, tc := range cases {
+		got, err := x.Between(tc.lo, "")
+		if err != nil {
+			t.Fatalf("Between(%q, inf): %v", tc.lo, err)
+		}
+		if got != tc.want {
+			t.Errorf("Between(%q, inf) = %q, want %q", tc.lo, got, tc.want)
+		}
+	}
+}
+
+func TestLabelCloneIndependent(t *testing.T) {
+	l := Label{"a0", "a1"}
+	c := l.Clone()
+	c[0] = "zz"
+	if l[0] != "a0" {
+		t.Error("Clone is not independent of the original")
+	}
+	if (Label)(nil).Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+// TestChildDoesNotAliasParentBacking guards against append-aliasing bugs:
+// two children derived from the same parent label must not share storage.
+func TestChildDoesNotAliasParentBacking(t *testing.T) {
+	parent := DocumentLabel.Child("a0")
+	c1 := parent.Child("a0")
+	c2 := parent.Child("a1")
+	if c1[1] != "a0" || c2[1] != "a1" {
+		t.Fatalf("sibling labels alias each other: %v %v", c1, c2)
+	}
+	p, ok := c1.Parent()
+	if !ok || !p.Equal(parent) {
+		t.Fatalf("Parent(%v) = %v, want %v", c1, p, parent)
+	}
+	// Appending a child to the returned parent must not clobber c1's key.
+	_ = p.Child("zz")
+	if c1[1] != "a0" {
+		t.Error("Parent() result aliases the child's backing array")
+	}
+}
+
+func TestKeyByteOrderMatchesStringsCompare(t *testing.T) {
+	// The Label geometry relies on byte-wise comparison of keys. Check that
+	// generated keys compare consistently under strings.Compare.
+	for _, s := range allSchemes() {
+		prev := ""
+		for i := 0; i < 100; i++ {
+			k, err := s.Between(prev, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != "" && strings.Compare(prev, k) != -1 {
+				t.Fatalf("%s: strings.Compare(%q, %q) != -1", s.Name(), prev, k)
+			}
+			prev = k
+		}
+	}
+}

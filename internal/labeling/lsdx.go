@@ -1,0 +1,111 @@
+package labeling
+
+import "fmt"
+
+// LSDX is an LSDX-style alphabetic key scheme after Duong & Zhang (ACSW
+// 2005), the dynamic labelling scheme the paper cites as reference [8].
+// Keys are lowercase letter strings that never end in 'a'; byte order is
+// sibling order. Like the original, the scheme never relabels a node:
+//
+//   - the first child of a fresh parent gets "b";
+//   - appending after key k increments k's last letter, or extends with "b"
+//     once the letter 'z' is reached ("y" → "z" → "zb" → "zc" → ...);
+//   - inserting between two keys extends the left key with a letter between
+//     the next letters of both, matching the LSDX "concatenate" rule.
+//
+// Appending n siblings therefore produces keys of length O(n/25): linear
+// growth on hot spots. The scheme exists alongside fracpath precisely to
+// expose that difference in the labelling ablation benchmark (B4).
+type LSDX struct{}
+
+// NewLSDX returns the LSDX scheme. The scheme is stateless; the value may be
+// shared freely.
+func NewLSDX() *LSDX { return &LSDX{} }
+
+// Name implements Scheme.
+func (*LSDX) Name() string { return "lsdx" }
+
+// First implements Scheme.
+func (*LSDX) First() (string, error) { return "b", nil }
+
+// Validate implements Scheme.
+func (*LSDX) Validate(s string) error {
+	if s == "" {
+		return fmt.Errorf("lsdx: empty key")
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return fmt.Errorf("lsdx: key %q has byte %q outside 'a'..'z'", s, s[i])
+		}
+	}
+	if s[len(s)-1] == 'a' {
+		return fmt.Errorf("lsdx: key %q must not end in 'a'", s)
+	}
+	return nil
+}
+
+// Between implements Scheme.
+func (x *LSDX) Between(lo, hi string) (string, error) {
+	if lo != "" {
+		if err := x.Validate(lo); err != nil {
+			return "", err
+		}
+	}
+	if hi != "" {
+		if err := x.Validate(hi); err != nil {
+			return "", err
+		}
+	}
+	switch {
+	case lo == "" && hi == "":
+		return x.First()
+	case hi == "":
+		return lsdxAfter(lo), nil
+	case lo == "":
+		return lsdxMid("", hi), nil
+	}
+	if lo >= hi {
+		return "", fmt.Errorf("%w: lo=%q hi=%q", ErrBadBounds, lo, hi)
+	}
+	return lsdxMid(lo, hi), nil
+}
+
+// lsdxAfter implements the LSDX append rule: increment the last letter, or
+// extend with 'b' when the last letter is 'z'.
+func lsdxAfter(lo string) string {
+	last := lo[len(lo)-1]
+	if last < 'z' {
+		return lo[:len(lo)-1] + string(last+1)
+	}
+	return lo + "b"
+}
+
+// lsdxMid returns a letter string strictly between a and b in byte order,
+// never ending in 'a'. a == "" is the open lower bound, b == "" the open
+// upper bound. Preconditions: a < b when both non-empty; neither ends 'a'.
+func lsdxMid(a, b string) string {
+	if b != "" {
+		n := 0
+		for n < len(a) && n < len(b) && a[n] == b[n] {
+			n++
+		}
+		if n > 0 {
+			return b[:n] + lsdxMid(a[n:], b[n:])
+		}
+	}
+	digA := 0
+	if a != "" {
+		digA = int(a[0] - 'a')
+	}
+	digB := 26
+	if b != "" {
+		digB = int(b[0] - 'a')
+	}
+	if digB-digA > 1 {
+		return string(byte('a' + (digA+digB)/2))
+	}
+	if a != "" {
+		return a[:1] + lsdxMid(a[1:], "")
+	}
+	return string(byte('a'+digA)) + lsdxMid("", b[1:])
+}

@@ -1,0 +1,356 @@
+package logicmodel
+
+// Experiment E9 (DESIGN.md): the paper's Horn-clause axioms, run as Datalog
+// rules, agree with the native engines on perm facts (axiom 14), views
+// (axioms 15–17) and post-update databases (axioms 18–25) — on the paper's
+// own scenario and on randomized documents and policies.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"securexml/internal/access"
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/view"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+	"securexml/internal/xupdate"
+)
+
+// accessExecute aliases the native secured executor for readability.
+var accessExecute = access.Execute
+
+const medXML = `<patients><franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert><service>pneumology</service><diagnosis>pneumonia</diagnosis></robert></patients>`
+
+func paperEnv(t *testing.T) (*xmltree.Document, *subject.Hierarchy, *policy.Policy) {
+	t.Helper()
+	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h, p
+}
+
+// checkPermEquivalence compares the logic model's perm facts with the
+// native evaluator for every node and privilege.
+func checkPermEquivalence(t *testing.T, d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, user string) {
+	t.Helper()
+	m, err := Build(d, h, p, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := p.Evaluate(d, h, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.Nodes() {
+		for _, priv := range policy.Privileges {
+			native := pm.Has(n, priv)
+			logic := m.HasPerm(n.ID().String(), priv)
+			if native != logic {
+				t.Errorf("user %s: perm(%s [%s], %s): native=%v logic=%v",
+					user, n.ID(), n.Path(), priv, native, logic)
+			}
+		}
+	}
+}
+
+// checkViewEquivalence compares the logic model's node_view facts with the
+// native materializer.
+func checkViewEquivalence(t *testing.T, d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, user string) {
+	t.Helper()
+	m, err := Build(d, h, p, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := p.Evaluate(d, h, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Materialize(d, pm)
+	native := make(map[string]string)
+	for _, n := range v.Doc.Nodes() {
+		native[n.ID().String()] = n.Label()
+	}
+	logic := m.ViewFacts()
+	if len(native) != len(logic) {
+		t.Errorf("user %s: view sizes differ: native %d, logic %d", user, len(native), len(logic))
+	}
+	for id, label := range native {
+		if logic[id] != label {
+			t.Errorf("user %s: node_view(%s): native %q, logic %q", user, id, label, logic[id])
+		}
+	}
+	for id := range logic {
+		if _, ok := native[id]; !ok {
+			t.Errorf("user %s: logic view has extra node %s", user, id)
+		}
+	}
+}
+
+func TestPaperPermEquivalence(t *testing.T) {
+	d, h, p := paperEnv(t)
+	for _, user := range h.Users() {
+		checkPermEquivalence(t, d, h, p, user)
+	}
+}
+
+func TestPaperViewEquivalence(t *testing.T) {
+	d, h, p := paperEnv(t)
+	for _, user := range h.Users() {
+		checkViewEquivalence(t, d, h, p, user)
+	}
+}
+
+// checkWriteEquivalence runs a destructive op natively on a clone and
+// compares the resulting database with the logic model's node_dbnew facts.
+func checkWriteEquivalence(t *testing.T, d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, user string, op *xupdate.Op) {
+	t.Helper()
+	pm, err := p.Evaluate(d, h, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Materialize(d, pm)
+	m, err := BuildWithOp(d, h, p, user, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic := m.NewDBFacts()
+
+	clone := d.Clone()
+	if _, _, err := accessExecute(clone, h, p, user, op); err != nil {
+		t.Fatal(err)
+	}
+	native := make(map[string]string)
+	for _, n := range clone.Nodes() {
+		native[n.ID().String()] = n.Label()
+	}
+	if len(native) != len(logic) {
+		t.Errorf("%s by %s: db sizes differ: native %d, logic %d", op.Kind, user, len(native), len(logic))
+	}
+	for id, label := range native {
+		if logic[id] != label {
+			t.Errorf("%s by %s: node_dbnew(%s): native %q, logic %q", op.Kind, user, id, label, logic[id])
+		}
+	}
+}
+
+func TestPaperRenameEquivalence(t *testing.T) {
+	d, h, p := paperEnv(t)
+	for _, tc := range []struct {
+		user string
+		op   *xupdate.Op
+	}{
+		{"beaufort", &xupdate.Op{Kind: xupdate.Rename, Select: "/patients/*", NewValue: "patient"}},
+		{"laporte", &xupdate.Op{Kind: xupdate.Rename, Select: "//diagnosis", NewValue: "dx"}},
+		{"robert", &xupdate.Op{Kind: xupdate.Rename, Select: "/patients/robert", NewValue: "me"}},
+	} {
+		checkWriteEquivalence(t, d, h, p, tc.user, tc.op)
+	}
+}
+
+func TestPaperUpdateEquivalence(t *testing.T) {
+	d, h, p := paperEnv(t)
+	for _, tc := range []struct {
+		user string
+		op   *xupdate.Op
+	}{
+		{"laporte", &xupdate.Op{Kind: xupdate.Update, Select: "//diagnosis", NewValue: "seen"}},
+		{"beaufort", &xupdate.Op{Kind: xupdate.Update, Select: "//diagnosis", NewValue: "leak"}},
+		{"richard", &xupdate.Op{Kind: xupdate.Update, Select: "/patients/RESTRICTED", NewValue: "x"}},
+	} {
+		checkWriteEquivalence(t, d, h, p, tc.user, tc.op)
+	}
+}
+
+func TestPaperRemoveEquivalence(t *testing.T) {
+	d, h, p := paperEnv(t)
+	for _, tc := range []struct {
+		user string
+		op   *xupdate.Op
+	}{
+		{"laporte", &xupdate.Op{Kind: xupdate.Remove, Select: "//diagnosis/node()"}},
+		{"beaufort", &xupdate.Op{Kind: xupdate.Remove, Select: "/patients/franck"}},
+		{"robert", &xupdate.Op{Kind: xupdate.Remove, Select: "/patients/robert"}},
+	} {
+		checkWriteEquivalence(t, d, h, p, tc.user, tc.op)
+	}
+}
+
+// TestPaperInsertPointsEquivalence compares where the logic model permits
+// insertion with where the native engine actually inserted.
+func TestPaperInsertPointsEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		user string
+		op   *xupdate.Op
+	}{
+		{"beaufort", mkInsert(t, xupdate.Append, "/patients")},
+		{"laporte", mkInsert(t, xupdate.Append, "//diagnosis")},
+		{"robert", mkInsert(t, xupdate.Append, "/patients/robert")},
+		{"beaufort", mkInsert(t, xupdate.InsertBefore, "/patients/franck")},
+		{"beaufort", mkInsert(t, xupdate.InsertAfter, "/patients/franck/service")},
+		{"laporte", mkInsert(t, xupdate.InsertBefore, "//diagnosis/node()")},
+	} {
+		d, h, p := paperEnv(t)
+		pm, err := p.Evaluate(d, h, tc.user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := view.Materialize(d, pm)
+		m, err := BuildWithOp(d, h, p, tc.user, v, tc.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logic := m.InsertPoints()
+
+		// Natively: applied targets = selected on view minus skipped.
+		clone := d.Clone()
+		res, rv, err := accessExecute(clone, h, p, tc.user, tc.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := xpath.Select(rv.Doc, tc.op.Select, xpath.Vars{"USER": xpath.String(tc.user)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		skipped := make(map[string]bool)
+		for _, s := range res.Skipped {
+			skipped[s.NodeID] = true
+		}
+		native := make(map[string]bool)
+		for _, n := range sel {
+			if !skipped[n.ID().String()] {
+				native[n.ID().String()] = true
+			}
+		}
+		if fmt.Sprint(native) != fmt.Sprint(logic) {
+			t.Errorf("%s %s by %s: insert points native %v, logic %v",
+				tc.op.Kind, tc.op.Select, tc.user, native, logic)
+		}
+	}
+}
+
+func mkInsert(t *testing.T, kind xupdate.Kind, sel string) *xupdate.Op {
+	t.Helper()
+	frag, err := xmltree.ParseString("<x/>", xmltree.ParseOptions{Fragment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &xupdate.Op{Kind: kind, Select: sel, Content: frag}
+}
+
+// --- randomized equivalence ---------------------------------------------------
+
+// randomDoc builds a small random tree.
+func randomDoc(t *testing.T, rng *rand.Rand) *xmltree.Document {
+	t.Helper()
+	d := xmltree.New(nil)
+	root, err := d.AppendChild(d.Root(), xmltree.KindElement, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := []*xmltree.Node{root}
+	names := []string{"a", "b", "c", "diagnosis"}
+	for i := 0; i < 12+rng.Intn(10); i++ {
+		parent := elems[rng.Intn(len(elems))]
+		if rng.Intn(4) == 0 {
+			if _, err := d.AppendChild(parent, xmltree.KindText, fmt.Sprintf("t%d", i)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		n, err := d.AppendChild(parent, xmltree.KindElement, names[rng.Intn(len(names))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems = append(elems, n)
+	}
+	return d
+}
+
+// randomPolicy builds a random rule set over a fixed path pool.
+func randomPolicy(t *testing.T, rng *rand.Rand, h *subject.Hierarchy) *policy.Policy {
+	t.Helper()
+	paths := []string{
+		"/descendant-or-self::node()", "//a", "//b", "//c/node()", "//diagnosis",
+		"/root/*", "//a/node()", "/root", "//diagnosis/node()", "//b/*",
+	}
+	subjects := []string{"r1", "r2", "u1", "u2"}
+	p := policy.New()
+	n := 4 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		eff := policy.Accept
+		if rng.Intn(3) == 0 {
+			eff = policy.Deny
+		}
+		priv := policy.Privileges[rng.Intn(len(policy.Privileges))]
+		err := p.Add(h, policy.Rule{
+			Effect: eff, Privilege: priv,
+			Path:    paths[rng.Intn(len(paths))],
+			Subject: subjects[rng.Intn(len(subjects))],
+			Priority: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func randomHierarchy(t *testing.T) *subject.Hierarchy {
+	t.Helper()
+	h := subject.NewHierarchy()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(h.AddRole("r1"))
+	must(h.AddRole("r2", "r1"))
+	must(h.AddUser("u1", "r1"))
+	must(h.AddUser("u2", "r2"))
+	return h
+}
+
+// TestRandomizedEquivalence fuzzes documents and policies and requires the
+// logic model and the native engines to agree on perms and views.
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250704))
+	for i := 0; i < 25; i++ {
+		d := randomDoc(t, rng)
+		h := randomHierarchy(t)
+		p := randomPolicy(t, rng, h)
+		for _, user := range []string{"u1", "u2"} {
+			checkPermEquivalence(t, d, h, p, user)
+			checkViewEquivalence(t, d, h, p, user)
+		}
+	}
+}
+
+// TestRandomizedWriteEquivalence fuzzes destructive ops.
+func TestRandomizedWriteEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sels := []string{"//a", "//diagnosis", "/root/*", "//b", "//c/node()"}
+	for i := 0; i < 15; i++ {
+		d := randomDoc(t, rng)
+		h := randomHierarchy(t)
+		p := randomPolicy(t, rng, h)
+		var op *xupdate.Op
+		switch rng.Intn(3) {
+		case 0:
+			op = &xupdate.Op{Kind: xupdate.Rename, Select: sels[rng.Intn(len(sels))], NewValue: "renamed"}
+		case 1:
+			op = &xupdate.Op{Kind: xupdate.Update, Select: sels[rng.Intn(len(sels))], NewValue: "updated"}
+		default:
+			op = &xupdate.Op{Kind: xupdate.Remove, Select: sels[rng.Intn(len(sels))]}
+		}
+		checkWriteEquivalence(t, d, h, p, "u2", op)
+	}
+}

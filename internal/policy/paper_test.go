@@ -1,0 +1,189 @@
+package policy
+
+// Reproduction of the axiom-13 hospital policy and the perm matrix it
+// induces under axiom 14 (experiment E5 in DESIGN.md).
+
+import (
+	"testing"
+
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+)
+
+func paperSetup(t *testing.T) (*xmltree.Document, *subject.Hierarchy, *Policy) {
+	t.Helper()
+	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.PaperHierarchy()
+	p, err := PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h, p
+}
+
+func TestPaperPolicyShape(t *testing.T) {
+	_, _, p := paperSetup(t)
+	if p.Len() != 12 {
+		t.Fatalf("policy has %d rules, want 12", p.Len())
+	}
+	// Priorities 10..21 ascending, as in axiom 13.
+	for i, r := range p.Rules() {
+		if r.Priority != int64(10+i) {
+			t.Errorf("rule %d priority %d, want %d", i, r.Priority, 10+i)
+		}
+	}
+}
+
+// permsFor evaluates the paper policy for a user.
+func permsFor(t *testing.T, user string) (*xmltree.Document, *Perms) {
+	t.Helper()
+	d, h, p := paperSetup(t)
+	pm, err := p.Evaluate(d, h, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, pm
+}
+
+// TestSecretaryPerms: rule 1 grants read everywhere, rule 2 strips diagnosis
+// content, rule 3 grants position on it, rules 8–9 allow inserting files and
+// updating patient names.
+func TestSecretaryPerms(t *testing.T) {
+	d, pm := permsFor(t, "beaufort")
+	diagText := node(t, d, "/patients/franck/diagnosis/text()")
+	if pm.Has(diagText, Read) {
+		t.Error("secretary can read diagnosis content (rule 2 violated)")
+	}
+	if !pm.Has(diagText, Position) {
+		t.Error("secretary lacks position on diagnosis content (rule 3 violated)")
+	}
+	if !pm.Has(node(t, d, "/patients/franck/diagnosis"), Read) {
+		t.Error("secretary cannot read the diagnosis element itself (rule 1)")
+	}
+	if !pm.Has(node(t, d, "/patients/franck/service/text()"), Read) {
+		t.Error("secretary cannot read service content (rule 1)")
+	}
+	if !pm.Has(node(t, d, "/patients"), Insert) {
+		t.Error("secretary cannot insert medical files (rule 8)")
+	}
+	if !pm.Has(node(t, d, "/patients/franck"), Update) {
+		t.Error("secretary cannot update patient names (rule 9)")
+	}
+	if pm.Has(node(t, d, "/patients/franck"), Delete) {
+		t.Error("secretary can delete patients")
+	}
+}
+
+// TestDoctorPerms: doctors read everything (rule 1) and manage diagnoses
+// (rules 10–12).
+func TestDoctorPerms(t *testing.T) {
+	d, pm := permsFor(t, "laporte")
+	for _, path := range []string{
+		"/patients", "/patients/franck", "/patients/franck/diagnosis/text()",
+		"/patients/robert/service/text()",
+	} {
+		if !pm.Has(node(t, d, path), Read) {
+			t.Errorf("doctor cannot read %s", path)
+		}
+	}
+	if !pm.Has(node(t, d, "/patients/franck/diagnosis"), Insert) {
+		t.Error("doctor cannot pose a diagnosis (rule 10)")
+	}
+	if !pm.Has(node(t, d, "/patients/franck/diagnosis/text()"), Update) {
+		t.Error("doctor cannot update a diagnosis (rule 11)")
+	}
+	if !pm.Has(node(t, d, "/patients/franck/diagnosis/text()"), Delete) {
+		t.Error("doctor cannot delete a diagnosis (rule 12)")
+	}
+	if pm.Has(node(t, d, "/patients"), Insert) {
+		t.Error("doctor can insert medical files (secretary-only, rule 8)")
+	}
+}
+
+// TestEpidemiologistPerms: rules 6–7 replace read with position on patient
+// names; everything below remains readable via rule 1.
+func TestEpidemiologistPerms(t *testing.T) {
+	d, pm := permsFor(t, "richard")
+	franck := node(t, d, "/patients/franck")
+	if pm.Has(franck, Read) {
+		t.Error("epidemiologist can read patient names (rule 6 violated)")
+	}
+	if !pm.Has(franck, Position) {
+		t.Error("epidemiologist lacks position on patient names (rule 7 violated)")
+	}
+	if !pm.Has(node(t, d, "/patients/franck/diagnosis/text()"), Read) {
+		t.Error("epidemiologist cannot read diagnosis content (rule 1)")
+	}
+	if !pm.Has(node(t, d, "/patients"), Read) {
+		t.Error("epidemiologist cannot read the patients element")
+	}
+}
+
+// TestPatientPerms: rules 4–5 — a patient reads the patients element and
+// their own subtree, nothing of other patients; no staff privileges at all.
+func TestPatientPerms(t *testing.T) {
+	d, pm := permsFor(t, "robert")
+	if !pm.Has(node(t, d, "/patients"), Read) {
+		t.Error("patient cannot read /patients (rule 4)")
+	}
+	for _, path := range []string{
+		"/patients/robert", "/patients/robert/service",
+		"/patients/robert/diagnosis", "/patients/robert/diagnosis/text()",
+	} {
+		if !pm.Has(node(t, d, path), Read) {
+			t.Errorf("robert cannot read his own %s (rule 5)", path)
+		}
+	}
+	for _, path := range []string{
+		"/patients/franck", "/patients/franck/diagnosis/text()",
+	} {
+		if pm.Has(node(t, d, path), Read) {
+			t.Errorf("robert can read franck's %s", path)
+		}
+		if pm.Has(node(t, d, path), Position) {
+			t.Errorf("robert holds position on franck's %s", path)
+		}
+	}
+	for _, priv := range []Privilege{Insert, Update, Delete} {
+		if pm.Has(node(t, d, "/patients/robert/diagnosis"), priv) {
+			t.Errorf("patient holds %s on his diagnosis", priv)
+		}
+	}
+}
+
+// TestPermMatrixSummary: the complete perm(s, n, read|position) matrix on
+// the paper document for all four paper roles' users — pins down the exact
+// semantics of rule interactions.
+func TestPermMatrixSummary(t *testing.T) {
+	type row struct {
+		user              string
+		readable, posOnly int // node counts over the 12-node document
+	}
+	// 12 nodes: /, patients, franck, service, text, diagnosis, text,
+	//           robert, service, text, diagnosis, text.
+	want := []row{
+		{"beaufort", 10, 2}, // all but the two diagnosis texts; those are position-only
+		{"laporte", 12, 0},  // everything
+		{"richard", 10, 2},  // all but the two patient-name elements
+		{"robert", 6, 0},    // /patients + his 4-node subtree + ... (see below)
+	}
+	for _, w := range want {
+		d, pm := permsFor(t, w.user)
+		var readable, posOnly int
+		for _, n := range d.Nodes() {
+			switch {
+			case pm.Has(n, Read):
+				readable++
+			case pm.Has(n, Position):
+				posOnly++
+			}
+		}
+		if readable != w.readable || posOnly != w.posOnly {
+			t.Errorf("%s: readable=%d posOnly=%d, want %d/%d",
+				w.user, readable, posOnly, w.readable, w.posOnly)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package policy implements the security policy of §4.3: rules of the form
+// rule(accept|deny, privilege, path, subject, priority) and the conflict
+// resolution of axiom 14, which derives the actual privileges perm(s, n, r)
+// held by each subject on each node.
+//
+// Priorities are the timestamps of rule insertion: "the last issued command
+// has the priority over the previous ones and possibly cancels them". An
+// accept at time t grants unless an applicable deny exists strictly later
+// (t' > t); symmetrically a deny is overridden by a strictly later accept.
+// With no applicable accept at all, the privilege is denied (closed world).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+// Privilege is one of the five privileges of §4.3.
+type Privilege int
+
+// The privileges. Position reveals a node's existence (RESTRICTED label);
+// Read reveals existence and label; Insert allows adding a subtree under a
+// node; Update allows changing a node's label; Delete allows removing the
+// subtree rooted at a node.
+const (
+	Position Privilege = iota
+	Read
+	Insert
+	Update
+	Delete
+	numPrivileges
+)
+
+// Privileges lists all privileges in declaration order.
+var Privileges = []Privilege{Position, Read, Insert, Update, Delete}
+
+// String returns the paper's name for the privilege.
+func (p Privilege) String() string {
+	switch p {
+	case Position:
+		return "position"
+	case Read:
+		return "read"
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("privilege(%d)", int(p))
+	}
+}
+
+// ParsePrivilege parses a privilege name.
+func ParsePrivilege(s string) (Privilege, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "position":
+		return Position, nil
+	case "read":
+		return Read, nil
+	case "insert":
+		return Insert, nil
+	case "update":
+		return Update, nil
+	case "delete":
+		return Delete, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown privilege %q", s)
+	}
+}
+
+// Effect says whether a rule grants or denies.
+type Effect int
+
+// Rule effects.
+const (
+	Accept Effect = iota
+	Deny
+)
+
+// String returns "accept" or "deny".
+func (e Effect) String() string {
+	if e == Deny {
+		return "deny"
+	}
+	return "accept"
+}
+
+// Rule is one security rule: subject is granted/denied privilege on the
+// nodes addressed by path, with the given priority.
+type Rule struct {
+	Effect    Effect
+	Privilege Privilege
+	Path      string
+	Subject   string
+	Priority  int64
+
+	compiled *xpath.Compiled
+}
+
+// String renders the rule in the paper's notation.
+func (r *Rule) String() string {
+	return fmt.Sprintf("rule(%s,%s,%s,%s,%d)", r.Effect, r.Privilege, r.Path, r.Subject, r.Priority)
+}
+
+// Errors returned by policy operations.
+var (
+	ErrUnknownSubject    = errors.New("policy: rule subject not in the hierarchy")
+	ErrDuplicatePriority = errors.New("policy: priority already used (the model assumes a total order)")
+)
+
+// Policy is an ordered set of rules protecting one database.
+type Policy struct {
+	rules []*Rule // sorted by ascending priority
+	next  int64   // next auto-assigned priority
+}
+
+// New returns an empty policy. With no rules every privilege is denied.
+func New() *Policy { return &Policy{next: 1} }
+
+// Add inserts a rule with an explicit priority. Subjects are checked against
+// h so that rules cannot name unknown subjects. Paths are compiled eagerly
+// so syntax errors surface at administration time, as a database would.
+func (p *Policy) Add(h *subject.Hierarchy, r Rule) error {
+	if !h.Exists(r.Subject) {
+		return fmt.Errorf("%w: %q", ErrUnknownSubject, r.Subject)
+	}
+	if r.Privilege < 0 || r.Privilege >= numPrivileges {
+		return fmt.Errorf("policy: invalid privilege %d", int(r.Privilege))
+	}
+	if r.Priority <= 0 {
+		return fmt.Errorf("policy: priority must be positive (timestamps), got %d", r.Priority)
+	}
+	c, err := xpath.Compile(r.Path)
+	if err != nil {
+		return fmt.Errorf("policy: rule path: %w", err)
+	}
+	for _, existing := range p.rules {
+		if existing.Priority == r.Priority {
+			return fmt.Errorf("%w: %d", ErrDuplicatePriority, r.Priority)
+		}
+	}
+	r.compiled = c
+	p.rules = append(p.rules, &r)
+	sort.SliceStable(p.rules, func(i, j int) bool { return p.rules[i].Priority < p.rules[j].Priority })
+	if r.Priority >= p.next {
+		p.next = r.Priority + 1
+	}
+	return nil
+}
+
+// Grant appends an accept rule with the next priority (the "last issued
+// command wins" discipline of §4.3).
+func (p *Policy) Grant(h *subject.Hierarchy, priv Privilege, path, subj string) error {
+	return p.Add(h, Rule{Effect: Accept, Privilege: priv, Path: path, Subject: subj, Priority: p.next})
+}
+
+// Revoke appends a deny rule with the next priority.
+func (p *Policy) Revoke(h *subject.Hierarchy, priv Privilege, path, subj string) error {
+	return p.Add(h, Rule{Effect: Deny, Privilege: priv, Path: path, Subject: subj, Priority: p.next})
+}
+
+// Rules returns the rules in ascending priority order. The returned slice
+// must not be modified.
+func (p *Policy) Rules() []*Rule { return p.rules }
+
+// Len returns the number of rules.
+func (p *Policy) Len() int { return len(p.rules) }
+
+// Clone returns an independent copy of the policy.
+func (p *Policy) Clone() *Policy {
+	c := &Policy{next: p.next, rules: make([]*Rule, len(p.rules))}
+	for i, r := range p.rules {
+		cp := *r
+		c.rules[i] = &cp
+	}
+	return c
+}
+
+// Perms is the materialized perm(s, n, r) relation for one user on one
+// document snapshot (axiom 14).
+type Perms struct {
+	user    string
+	version uint64
+	// grants[nodeID] is a bitmask over privileges.
+	grants map[string]uint8
+}
+
+// User returns the subject the permissions were computed for.
+func (pm *Perms) User() string { return pm.user }
+
+// DocVersion returns the document version the permissions were computed
+// against; higher layers use it for cache invalidation.
+func (pm *Perms) DocVersion() uint64 { return pm.version }
+
+// Has reports perm(user, n, priv).
+func (pm *Perms) Has(n *xmltree.Node, priv Privilege) bool {
+	return pm.grants[n.ID().String()]&(1<<uint(priv)) != 0
+}
+
+// HasID reports perm(user, id, priv) by node identifier.
+func (pm *Perms) HasID(id string, priv Privilege) bool {
+	return pm.grants[id]&(1<<uint(priv)) != 0
+}
+
+// Evaluate computes the perm relation for user on doc, per axiom 14:
+//
+//	perm(s, n, r) holds iff some accept rule (r, p, s', t) with isa(s, s')
+//	addresses n, and no deny rule (r, p', s'', t') with isa(s, s'') and
+//	t' > t addresses n.
+//
+// Equivalently: among the applicable rules addressing n for privilege r, the
+// one with the greatest priority is an accept. Rule paths are evaluated on
+// the source document with $USER bound to the user's login.
+func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user string) (*Perms, error) {
+	pm := &Perms{user: user, version: doc.Version(), grants: make(map[string]uint8)}
+	// latest[nodeID][priv] = priority of the latest applicable rule; sign
+	// tracked separately via accepts bitmask updates below.
+	type cell struct {
+		priority int64
+		effect   Effect
+	}
+	latest := make(map[string]*[numPrivileges]cell)
+	vars := xpath.Vars{"USER": xpath.String(user)}
+	for _, r := range p.rules { // ascending priority: later rules overwrite
+		if !h.ISA(user, r.Subject) {
+			continue
+		}
+		ns, err := r.compiled.Select(doc.Root(), vars)
+		if err != nil {
+			return nil, fmt.Errorf("policy: evaluating %s: %w", r, err)
+		}
+		for _, n := range ns {
+			id := n.ID().String()
+			c := latest[id]
+			if c == nil {
+				c = &[numPrivileges]cell{}
+				latest[id] = c
+			}
+			if r.Priority >= c[r.Privilege].priority {
+				c[r.Privilege] = cell{priority: r.Priority, effect: r.Effect}
+			}
+		}
+	}
+	for id, cells := range latest {
+		var mask uint8
+		for _, priv := range Privileges {
+			if cells[priv].priority > 0 && cells[priv].effect == Accept {
+				mask |= 1 << uint(priv)
+			}
+		}
+		if mask != 0 {
+			pm.grants[id] = mask
+		}
+	}
+	return pm, nil
+}
+
+// PaperPolicy builds the twelve-rule hospital policy of axiom 13, with the
+// paper's priorities 10–21.
+//
+// Two notational translations from the paper's abbreviated paths to strict
+// XPath 1.0 (see DESIGN.md):
+//
+//   - the paper writes '*' where it means "any child node" — strict XPath
+//     matches elements only with '*', which would hide text content even
+//     from doctors — so '*' becomes node() where text nodes are intended
+//     (rules 1–3, 11, 12);
+//   - rule 5's "/patients/descendant-or-self::*[$USER]" (a patient sees the
+//     subtree of the element named after them) is spelled out as
+//     "/patients/*[name() = $USER]/descendant-or-self::node()".
+func PaperPolicy(h *subject.Hierarchy) (*Policy, error) {
+	p := New()
+	rules := []Rule{
+		{Accept, Read, "/descendant-or-self::node()", "staff", 10, nil},
+		{Deny, Read, "//diagnosis/node()", "secretary", 11, nil},
+		{Accept, Position, "//diagnosis/node()", "secretary", 12, nil},
+		{Accept, Read, "/patients", "patient", 13, nil},
+		{Accept, Read, "/patients/*[name() = $USER]/descendant-or-self::node()", "patient", 14, nil},
+		{Deny, Read, "/patients/*", "epidemiologist", 15, nil},
+		{Accept, Position, "/patients/*", "epidemiologist", 16, nil},
+		{Accept, Insert, "/patients", "secretary", 17, nil},
+		{Accept, Update, "/patients/*", "secretary", 18, nil},
+		{Accept, Insert, "//diagnosis", "doctor", 19, nil},
+		{Accept, Update, "//diagnosis/node()", "doctor", 20, nil},
+		{Accept, Delete, "//diagnosis/node()", "doctor", 21, nil},
+	}
+	for _, r := range rules {
+		if err := p.Add(h, r); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,69 @@
+// Package scenario builds the paper's running example — the Fig. 2
+// medical-files database, the Fig. 3 subject hierarchy and the axiom-13
+// policy — on the public core API. The demo, shell and server binaries all
+// start from it, so it lives in one place.
+package scenario
+
+import (
+	"securexml/internal/core"
+	"securexml/internal/policy"
+)
+
+// PaperDocumentXML is the Fig. 2 database, with robert's subtree filled in
+// as §4.4.1 reveals it.
+const PaperDocumentXML = `<patients><franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert><service>pneumology</service><diagnosis>pneumonia</diagnosis></robert></patients>`
+
+// Users lists the Fig. 3 users with their roles, for display.
+var Users = []struct{ Name, Role string }{
+	{"beaufort", "secretary"},
+	{"laporte", "doctor"},
+	{"richard", "epidemiologist"},
+	{"robert", "patient"},
+	{"franck", "patient"},
+}
+
+// Setup loads the document, declares the Fig. 3 hierarchy and installs the
+// twelve rules of axiom 13 into db.
+func Setup(db *core.Database) error {
+	steps := []error{
+		db.LoadXMLString(PaperDocumentXML),
+		db.AddRole("staff"),
+		db.AddRole("secretary", "staff"),
+		db.AddRole("doctor", "staff"),
+		db.AddRole("epidemiologist", "staff"),
+		db.AddRole("patient"),
+		db.AddUser("beaufort", "secretary"),
+		db.AddUser("laporte", "doctor"),
+		db.AddUser("richard", "epidemiologist"),
+		db.AddUser("robert", "patient"),
+		db.AddUser("franck", "patient"),
+		// Axiom 13, rules 1-12 (priorities assigned in issue order).
+		db.Grant(policy.Read, "/descendant-or-self::node()", "staff"),
+		db.Revoke(policy.Read, "//diagnosis/node()", "secretary"),
+		db.Grant(policy.Position, "//diagnosis/node()", "secretary"),
+		db.Grant(policy.Read, "/patients", "patient"),
+		db.Grant(policy.Read, "/patients/*[name() = $USER]/descendant-or-self::node()", "patient"),
+		db.Revoke(policy.Read, "/patients/*", "epidemiologist"),
+		db.Grant(policy.Position, "/patients/*", "epidemiologist"),
+		db.Grant(policy.Insert, "/patients", "secretary"),
+		db.Grant(policy.Update, "/patients/*", "secretary"),
+		db.Grant(policy.Insert, "//diagnosis", "doctor"),
+		db.Grant(policy.Update, "//diagnosis/node()", "doctor"),
+		db.Grant(policy.Delete, "//diagnosis/node()", "doctor"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// New builds a fresh database with the scenario installed.
+func New() (*core.Database, error) {
+	db := core.New()
+	if err := Setup(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewBuildsThePaperState(t *testing.T) {
+	db, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Nodes != 12 || st.Rules != 12 || st.Users != 5 || st.Roles != 5 {
+		t.Errorf("stats = %+v, want the 12/12/5/5 paper state", st)
+	}
+	for _, u := range Users {
+		s, err := db.Session(u.Name)
+		if err != nil {
+			t.Fatalf("session for %s: %v", u.Name, err)
+		}
+		if _, err := s.ViewXML(); err != nil {
+			t.Fatalf("view for %s: %v", u.Name, err)
+		}
+	}
+	// Spot-check the semantics end to end.
+	sec, err := db.Session("beaufort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := sec.ViewXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, "RESTRICTED") || strings.Contains(xml, "tonsillitis") {
+		t.Errorf("secretary view wrong:\n%s", xml)
+	}
+}
+
+func TestSetupIsRejectedTwice(t *testing.T) {
+	db, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-running Setup on the same database must fail loudly (duplicate
+	// subjects), not silently double the policy.
+	if err := Setup(db); err == nil {
+		t.Error("double Setup succeeded")
+	}
+}

@@ -1,0 +1,169 @@
+// Package server exposes a secure XML database over HTTP — the deployment
+// form factor the paper attributes to earlier models (§2: "designed to be
+// implemented as extensions to existing web servers"), here with this
+// paper's semantics: every request runs as the authenticated user, reads
+// answer from the user's view, writes go through the §4.4.2 access
+// controls.
+//
+// Endpoints (user = HTTP Basic Auth username; this demo layer performs
+// identification, not authentication — wire a real verifier in front):
+//
+//	GET  /view                    the user's authorized view (XML)
+//	GET  /query?xpath=EXPR        node results (text/plain, one per line)
+//	GET  /value?xpath=EXPR        atomic result of EXPR
+//	POST /update                  an <xupdate:modifications> document
+//	POST /transform               an XSLT stylesheet, run as the user (§5)
+//	GET  /healthz                 liveness, database stats
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"securexml/internal/core"
+)
+
+// maxBody bounds update request bodies (1 MiB).
+const maxBody = 1 << 20
+
+// Server is an http.Handler over one Database.
+type Server struct {
+	db  *core.Database
+	mux *http.ServeMux
+}
+
+// New builds the handler.
+func New(db *core.Database) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /view", s.withSession(s.handleView))
+	s.mux.HandleFunc("GET /query", s.withSession(s.handleQuery))
+	s.mux.HandleFunc("GET /value", s.withSession(s.handleValue))
+	s.mux.HandleFunc("POST /update", s.withSession(s.handleUpdate))
+	s.mux.HandleFunc("POST /transform", s.withSession(s.handleTransform))
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// withSession resolves the request user into a database session.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *core.Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		user, _, ok := r.BasicAuth()
+		if !ok || user == "" {
+			w.Header().Set("WWW-Authenticate", `Basic realm="securexml"`)
+			http.Error(w, "authentication required", http.StatusUnauthorized)
+			return
+		}
+		session, err := s.db.Session(user)
+		if err != nil {
+			if errors.Is(err, core.ErrUnknownUser) || errors.Is(err, core.ErrNotUser) {
+				http.Error(w, err.Error(), http.StatusForbidden)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h(w, r, session)
+	}
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request, session *core.Session) {
+	xml, err := session.ViewXML()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	io.WriteString(w, xml)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, session *core.Session) {
+	expr := r.URL.Query().Get("xpath")
+	if expr == "" {
+		http.Error(w, "missing xpath parameter", http.StatusBadRequest)
+		return
+	}
+	results, err := session.Query(expr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, res := range results {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", res.Path, res.Kind, strings.ReplaceAll(res.Value, "\n", " "))
+	}
+}
+
+func (s *Server) handleValue(w http.ResponseWriter, r *http.Request, session *core.Session) {
+	expr := r.URL.Query().Get("xpath")
+	if expr == "" {
+		http.Error(w, "missing xpath parameter", http.StatusBadRequest)
+		return
+	}
+	v, err := session.QueryValue(expr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, v.Str())
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, session *core.Session) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBody {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	results, err := session.Apply(string(body))
+	if err != nil {
+		// Parse errors and hard failures; privilege refusals are not errors.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for i, res := range results {
+		fmt.Fprintf(w, "op %d: selected=%d applied=%d created=%d removed=%d skipped=%d\n",
+			i+1, res.Selected, res.Applied, res.Created, res.Removed, len(res.Skipped))
+		for _, sk := range res.Skipped {
+			fmt.Fprintf(w, "  skipped: %s\n", sk.Reason)
+		}
+	}
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request, session *core.Session) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBody {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	out, err := session.Transform(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	io.WriteString(w, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := s.db.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok nodes=%d rules=%d users=%d roles=%d version=%d\n",
+		st.Nodes, st.Rules, st.Users, st.Roles, st.DocVersion)
+}

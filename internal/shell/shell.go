@@ -1,0 +1,312 @@
+// Package shell implements the command interpreter behind cmd/xmlsec-shell:
+// login/session management, view and query display, the six XUpdate
+// operations, policy administration and snapshot persistence. It is
+// separated from the binary so the command surface is unit-testable.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"securexml/internal/core"
+	"securexml/internal/policy"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// HelpText lists the commands; the binary prints it for "help".
+const HelpText = `Commands:
+  login <user>                    open a session (e.g. login beaufort)
+  logout                          close the session
+  whoami                          show the session user
+  view                            print your authorized view
+  query <xpath>                   select nodes on your view
+  value <xpath>                   evaluate an expression (count(...), ...)
+  rename <path> <new-label>       xupdate:rename
+  update <path> <new-content>     xupdate:update
+  append <path> <xml-fragment>    xupdate:append
+  insert-before <path> <xml>      xupdate:insert-before
+  insert-after <path> <xml>       xupdate:insert-after
+  remove <path>                   xupdate:remove
+  grant <priv> <subject> <path>   add an accept rule (admin)
+  revoke <priv> <subject> <path>  add a deny rule (admin)
+  addrole <name> [parents...]     declare a role (admin)
+  adduser <name> [roles...]       declare a user (admin)
+  rules | users | roles | stats   inspect the database
+  source                          print the raw document (admin)
+  save <file>                     write a durable snapshot (admin)
+  open <file>                     restore a snapshot (admin)
+  transform <stylesheet-file>     run XSLT through your security filter
+  audit [n]                       print the last n audit entries
+  help | quit`
+
+// Shell interprets commands against a database, writing results to out.
+type Shell struct {
+	db      *core.Database
+	session *core.Session
+	out     io.Writer
+}
+
+// New builds a shell over db writing to out.
+func New(db *core.Database, out io.Writer) *Shell {
+	return &Shell{db: db, out: out}
+}
+
+// DB returns the current database (it changes when "open" restores one).
+func (sh *Shell) DB() *core.Database { return sh.db }
+
+// User returns the session login, or "" when logged out.
+func (sh *Shell) User() string {
+	if sh.session == nil {
+		return ""
+	}
+	return sh.session.User()
+}
+
+func (sh *Shell) printf(format string, args ...any) {
+	fmt.Fprintf(sh.out, format, args...)
+}
+
+// Execute runs one command line. Returned errors are user-facing (bad
+// command, refused operation, unreadable file); the shell state stays
+// consistent either way.
+func (sh *Shell) Execute(line string) error {
+	cmd, rest := splitWord(line)
+	switch cmd {
+	case "", "quit", "exit":
+		return nil
+	case "help":
+		sh.printf("%s\n", HelpText)
+		return nil
+	case "login":
+		user, _ := splitWord(rest)
+		if user == "" {
+			return fmt.Errorf("usage: login <user>")
+		}
+		s, err := sh.db.Session(user)
+		if err != nil {
+			return err
+		}
+		sh.session = s
+		return nil
+	case "logout":
+		sh.session = nil
+		return nil
+	case "whoami":
+		if sh.session == nil {
+			sh.printf("not logged in\n")
+		} else {
+			sh.printf("%s\n", sh.session.User())
+		}
+		return nil
+	case "rules":
+		for i, r := range sh.db.Rules() {
+			sh.printf("%2d. %s\n", i+1, r.String())
+		}
+		return nil
+	case "users":
+		sh.printf("%s\n", strings.Join(sh.db.Users(), ", "))
+		return nil
+	case "roles":
+		sh.printf("%s\n", strings.Join(sh.db.Roles(), ", "))
+		return nil
+	case "stats":
+		st := sh.db.Stats()
+		sh.printf("nodes=%d rules=%d users=%d roles=%d doc-version=%d policy-epoch=%d\n",
+			st.Nodes, st.Rules, st.Users, st.Roles, st.DocVersion, st.PolicyEpoch)
+		return nil
+	case "source":
+		sh.printf("%s\n", sh.db.SourceXML())
+		return nil
+	case "save":
+		return sh.save(rest)
+	case "open":
+		return sh.open(rest)
+	case "audit":
+		entries := sh.db.Audit()
+		n := 10
+		fmt.Sscanf(rest, "%d", &n)
+		if n > len(entries) {
+			n = len(entries)
+		}
+		for _, e := range entries[len(entries)-n:] {
+			sh.printf("#%d %-10s %-8s %-50s %s\n", e.Seq, e.User, e.Action, e.Detail, e.Outcome)
+		}
+		return nil
+	case "grant", "revoke":
+		parts := strings.Fields(rest)
+		if len(parts) < 3 {
+			return fmt.Errorf("usage: %s <priv> <subject> <path>", cmd)
+		}
+		priv, err := policy.ParsePrivilege(parts[0])
+		if err != nil {
+			return err
+		}
+		path := strings.Join(parts[2:], " ")
+		if cmd == "grant" {
+			return sh.db.Grant(priv, path, parts[1])
+		}
+		return sh.db.Revoke(priv, path, parts[1])
+	case "addrole":
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			return fmt.Errorf("usage: addrole <name> [parents...]")
+		}
+		return sh.db.AddRole(parts[0], parts[1:]...)
+	case "adduser":
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			return fmt.Errorf("usage: adduser <name> [roles...]")
+		}
+		return sh.db.AddUser(parts[0], parts[1:]...)
+	}
+	return sh.sessionCommand(cmd, rest)
+}
+
+func (sh *Shell) sessionCommand(cmd, rest string) error {
+	if sh.session == nil {
+		return fmt.Errorf("log in first (login <user>)")
+	}
+	s := sh.session
+	switch cmd {
+	case "view":
+		out, err := s.ViewXML()
+		if err != nil {
+			return err
+		}
+		sh.printf("%s\n", out)
+		return nil
+	case "query":
+		if rest == "" {
+			return fmt.Errorf("usage: query <xpath>")
+		}
+		results, err := s.Query(rest)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			sh.printf("%-40s %-9s %s\n", r.Path, r.Kind, r.Value)
+		}
+		sh.printf("(%d nodes)\n", len(results))
+		return nil
+	case "value":
+		if rest == "" {
+			return fmt.Errorf("usage: value <expression>")
+		}
+		v, err := s.QueryValue(rest)
+		if err != nil {
+			return err
+		}
+		sh.printf("%s (%s)\n", v.Str(), v.TypeName())
+		return nil
+	case "rename", "update":
+		path, arg := splitWord(rest)
+		if path == "" || arg == "" {
+			return fmt.Errorf("usage: %s <path> <value>", cmd)
+		}
+		kind := xupdate.Rename
+		if cmd == "update" {
+			kind = xupdate.Update
+		}
+		return sh.runOp(&xupdate.Op{Kind: kind, Select: path, NewValue: arg})
+	case "append", "insert-before", "insert-after":
+		path, frag := splitWord(rest)
+		if path == "" || frag == "" {
+			return fmt.Errorf("usage: %s <path> <xml-fragment>", cmd)
+		}
+		content, err := xmltree.ParseString(frag, xmltree.ParseOptions{Fragment: true})
+		if err != nil {
+			return fmt.Errorf("fragment: %w", err)
+		}
+		kind := map[string]xupdate.Kind{
+			"append": xupdate.Append, "insert-before": xupdate.InsertBefore,
+			"insert-after": xupdate.InsertAfter,
+		}[cmd]
+		return sh.runOp(&xupdate.Op{Kind: kind, Select: path, Content: content})
+	case "remove":
+		if rest == "" {
+			return fmt.Errorf("usage: remove <path>")
+		}
+		return sh.runOp(&xupdate.Op{Kind: xupdate.Remove, Select: rest})
+	case "transform":
+		if rest == "" {
+			return fmt.Errorf("usage: transform <stylesheet-file>")
+		}
+		src, err := os.ReadFile(rest)
+		if err != nil {
+			return err
+		}
+		out, err := s.Transform(string(src))
+		if err != nil {
+			return err
+		}
+		sh.printf("%s\n", out)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *Shell) runOp(op *xupdate.Op) error {
+	res, err := sh.session.Update(op)
+	if err != nil {
+		return err
+	}
+	sh.printf("selected=%d applied=%d created=%d removed=%d\n",
+		res.Selected, res.Applied, res.Created, res.Removed)
+	for _, sk := range res.Skipped {
+		sh.printf("  skipped %s: %s\n", sk.NodeID, sk.Reason)
+	}
+	return nil
+}
+
+func (sh *Shell) save(path string) error {
+	if path == "" {
+		return fmt.Errorf("usage: save <file>")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sh.db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sh.printf("saved to %s\n", path)
+	return nil
+}
+
+func (sh *Shell) open(path string) error {
+	if path == "" {
+		return fmt.Errorf("usage: open <file>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	restored, err := core.Open(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	sh.db = restored
+	sh.session = nil
+	st := restored.Stats()
+	sh.printf("restored %s: %d nodes, %d rules, %d users (log in again)\n",
+		path, st.Nodes, st.Rules, st.Users)
+	return nil
+}
+
+func splitWord(s string) (first, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}

@@ -1,0 +1,32 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the snapshot reader never panics on corrupt input.
+func FuzzRead(f *testing.F) {
+	// A valid snapshot as the main seed.
+	var b strings.Builder
+	seedSnap := &Snapshot{}
+	_ = seedSnap
+	f.Add("securexml-snapshot 1\nscheme fracpath\nnode /a0 1 \"r\"\nsubject user u\nrule accept read 1 u \"//x\"\nend\n")
+	f.Add("securexml-snapshot 1\nscheme lsdx\nend\n")
+	f.Add("")
+	f.Add("securexml-snapshot 1\nscheme fracpath\nnode")
+	f.Add("securexml-snapshot 1\nscheme fracpath\nnode /a0 1 \"r\"\nnode /a0/a0 2 \"t\"\nend\n")
+	f.Add(strings.Repeat("node /a0 1 \"x\"\n", 3))
+	_ = b
+	f.Fuzz(func(t *testing.T, src string) {
+		snap, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted snapshots must be re-serializable.
+		var out strings.Builder
+		if err := Write(&out, snap); err != nil {
+			t.Fatalf("accepted snapshot cannot be re-written: %v", err)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"securexml/internal/labeling"
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+)
+
+func sample(t *testing.T, schemeName string) *Snapshot {
+	t.Helper()
+	scheme, err := labeling.ByName(schemeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(
+		`<patients><franck id="42" note="a &quot;quoted&quot; value"><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert/></patients>`,
+		xmltree.ParseOptions{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := make([]policy.Rule, 0, p.Len())
+	for _, r := range p.Rules() {
+		rules = append(rules, *r)
+	}
+	return &Snapshot{SchemeName: schemeName, Doc: doc, Subjects: h, Rules: rules}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, schemeName := range []string{"fracpath", "lsdx"} {
+		snap := sample(t, schemeName)
+		var b strings.Builder
+		if err := Write(&b, snap); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: %v\nsnapshot:\n%s", schemeName, err, b.String())
+		}
+		if got.SchemeName != schemeName {
+			t.Errorf("scheme = %q", got.SchemeName)
+		}
+		// Document identical including identifiers.
+		if !xmltree.Equal(snap.Doc, got.Doc) {
+			t.Errorf("%s: document not identical after round trip:\n%s\nvs\n%s",
+				schemeName, snap.Doc.Sketch(), got.Doc.Sketch())
+		}
+		// Hierarchy identical.
+		wantSub, wantISA := snap.Subjects.Facts()
+		gotSub, gotISA := got.Subjects.Facts()
+		if strings.Join(wantSub, ",") != strings.Join(gotSub, ",") {
+			t.Errorf("subjects: %v vs %v", wantSub, gotSub)
+		}
+		if len(wantISA) != len(gotISA) {
+			t.Errorf("isa edges: %d vs %d", len(wantISA), len(gotISA))
+		}
+		for _, u := range wantSub {
+			k1, _ := snap.Subjects.KindOf(u)
+			k2, _ := got.Subjects.KindOf(u)
+			if k1 != k2 {
+				t.Errorf("kind of %s changed: %v -> %v", u, k1, k2)
+			}
+		}
+		// Rules identical.
+		if len(got.Rules) != len(snap.Rules) {
+			t.Fatalf("rules: %d vs %d", len(got.Rules), len(snap.Rules))
+		}
+		for i := range got.Rules {
+			a, b := snap.Rules[i], got.Rules[i]
+			if a.Effect != b.Effect || a.Privilege != b.Privilege ||
+				a.Priority != b.Priority || a.Subject != b.Subject || a.Path != b.Path {
+				t.Errorf("rule %d: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestRoundTripSpecialLabels(t *testing.T) {
+	scheme, _ := labeling.ByName("fracpath")
+	doc := xmltree.New(scheme)
+	root, err := doc.AppendChild(doc.Root(), xmltree.KindElement, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels with newlines, quotes, spaces and unicode must survive.
+	for _, label := range []string{"line\nbreak", `has "quotes"`, "tab\there", "ünïcôde ✓", " leading and trailing "} {
+		if _, err := doc.AppendChild(root, xmltree.KindText, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &Snapshot{SchemeName: "fracpath", Doc: doc, Subjects: subject.NewHierarchy()}
+	var b strings.Builder
+	if err := Write(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, got.Doc) {
+		t.Errorf("special labels mangled:\n%s\nvs\n%s", doc.Sketch(), got.Doc.Sketch())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"bad magic", "not-a-snapshot\nend\n"},
+		{"no scheme", "securexml-snapshot 1\nend\n"},
+		{"bad scheme", "securexml-snapshot 1\nscheme martian\nend\n"},
+		{"truncated", "securexml-snapshot 1\nscheme fracpath\n"},
+		{"unknown verb", "securexml-snapshot 1\nscheme fracpath\nfrobnicate x\nend\n"},
+		{"orphan node", "securexml-snapshot 1\nscheme fracpath\nnode /a0/a0 1 \"x\"\nend\n"},
+		{"bad node id", "securexml-snapshot 1\nscheme fracpath\nnode ??? 1 \"x\"\nend\n"},
+		{"bad node kind", "securexml-snapshot 1\nscheme fracpath\nnode /a0 banana \"x\"\nend\n"},
+		{"bad label quoting", "securexml-snapshot 1\nscheme fracpath\nnode /a0 1 unquoted\nend\n"},
+		{"bad subject kind", "securexml-snapshot 1\nscheme fracpath\nsubject alien bob\nend\n"},
+		{"isa unknown", "securexml-snapshot 1\nscheme fracpath\nisa a b\nend\n"},
+		{"bad rule effect", "securexml-snapshot 1\nscheme fracpath\nrule maybe read 1 staff \"//x\"\nend\n"},
+		{"bad rule privilege", "securexml-snapshot 1\nscheme fracpath\nrule accept fly 1 staff \"//x\"\nend\n"},
+		{"bad rule priority", "securexml-snapshot 1\nscheme fracpath\nrule accept read soon staff \"//x\"\nend\n"},
+		{"bad rule path quoting", "securexml-snapshot 1\nscheme fracpath\nrule accept read 1 staff //x\nend\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := Read(strings.NewReader("bogus\n")); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("errors should wrap ErrBadSnapshot, got %v", err)
+	}
+}
+
+func TestSnapshotIsStableText(t *testing.T) {
+	// Two writes of the same state must be byte-identical (deterministic
+	// serialization makes snapshots diffable).
+	snap := sample(t, "fracpath")
+	var a, b strings.Builder
+	if err := Write(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("snapshot serialization not deterministic")
+	}
+}

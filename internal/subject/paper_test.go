@@ -1,0 +1,79 @@
+package subject
+
+// Reproduction of Fig. 3 and the sets S and RS of §4.2 (experiment F3 in
+// DESIGN.md): the subject hierarchy with roles staff/secretary/doctor/
+// epidemiologist/patient and users beaufort/laporte/richard/robert/franck,
+// and the reflexive-transitive isa closure of axioms 11 and 12.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestFig3Subjects checks the subject(s) facts of axiom 10.
+func TestFig3Subjects(t *testing.T) {
+	h := PaperHierarchy()
+	subjects, _ := h.Facts()
+	want := []string{
+		"beaufort", "doctor", "epidemiologist", "franck", "laporte",
+		"patient", "richard", "robert", "secretary", "staff",
+	}
+	if !reflect.DeepEqual(subjects, want) {
+		t.Errorf("subjects = %v, want %v", subjects, want)
+	}
+}
+
+// TestFig3DirectISA checks the direct isa facts of axiom 10.
+func TestFig3DirectISA(t *testing.T) {
+	h := PaperHierarchy()
+	_, isa := h.Facts()
+	got := make([]string, len(isa))
+	for i, e := range isa {
+		got[i] = e[0] + "->" + e[1]
+	}
+	sort.Strings(got)
+	want := []string{
+		"beaufort->secretary",
+		"doctor->staff",
+		"epidemiologist->staff",
+		"franck->patient",
+		"laporte->doctor",
+		"richard->epidemiologist",
+		"robert->patient",
+		"secretary->staff",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("direct isa = %v, want %v", got, want)
+	}
+}
+
+// TestFig3Closure checks the derived closure (axioms 11–12) exhaustively:
+// every pair of subjects, exactly the expected relations.
+func TestFig3Closure(t *testing.T) {
+	h := PaperHierarchy()
+	subjects, _ := h.Facts()
+
+	derived := map[string]bool{}
+	for _, e := range [][2]string{
+		// From axiom 12 (transitivity):
+		{"beaufort", "staff"}, {"laporte", "staff"}, {"richard", "staff"},
+		// Direct edges:
+		{"secretary", "staff"}, {"doctor", "staff"}, {"epidemiologist", "staff"},
+		{"beaufort", "secretary"}, {"laporte", "doctor"}, {"richard", "epidemiologist"},
+		{"robert", "patient"}, {"franck", "patient"},
+	} {
+		derived[e[0]+"|"+e[1]] = true
+	}
+	for _, s := range subjects {
+		derived[s+"|"+s] = true // axiom 11 (reflexivity)
+	}
+	for _, a := range subjects {
+		for _, b := range subjects {
+			want := derived[a+"|"+b]
+			if got := h.ISA(a, b); got != want {
+				t.Errorf("isa(%s, %s) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}

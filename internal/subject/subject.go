@@ -1,0 +1,266 @@
+// Package subject implements the subject hierarchy of §4.2: subjects are
+// roles (internal nodes) and users (leaves), related by the isa relation.
+// The reflexive-transitive closure of isa (axioms 11 and 12) determines
+// which security rules apply to a session user: a rule granted to subject s'
+// applies to s whenever isa(s, s').
+package subject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes roles from users.
+type Kind int
+
+// Subject kinds.
+const (
+	Role Kind = iota
+	User
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == User {
+		return "user"
+	}
+	return "role"
+}
+
+// Errors returned by hierarchy mutations.
+var (
+	ErrUnknownSubject   = errors.New("subject: unknown subject")
+	ErrDuplicateSubject = errors.New("subject: subject already exists")
+	ErrCycle            = errors.New("subject: isa edge would create a cycle")
+	ErrUserParent       = errors.New("subject: a user cannot be the parent of another subject")
+)
+
+// Hierarchy is a mutable subject hierarchy: a DAG of roles with users at the
+// leaves. The zero value is not usable; call NewHierarchy.
+type Hierarchy struct {
+	kinds   map[string]Kind
+	parents map[string][]string // direct isa edges: subject -> parents
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		kinds:   make(map[string]Kind),
+		parents: make(map[string][]string),
+	}
+}
+
+// AddRole declares a role, optionally under parent roles (isa edges).
+func (h *Hierarchy) AddRole(name string, parents ...string) error {
+	return h.add(name, Role, parents)
+}
+
+// AddUser declares a user belonging to the given roles.
+func (h *Hierarchy) AddUser(name string, roles ...string) error {
+	return h.add(name, User, roles)
+}
+
+func (h *Hierarchy) add(name string, kind Kind, parents []string) error {
+	if name == "" {
+		return errors.New("subject: empty subject name")
+	}
+	if _, ok := h.kinds[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSubject, name)
+	}
+	for _, p := range parents {
+		pk, ok := h.kinds[p]
+		if !ok {
+			return fmt.Errorf("%w: parent %q of %q", ErrUnknownSubject, p, name)
+		}
+		if pk == User {
+			return fmt.Errorf("%w: %q under user %q", ErrUserParent, name, p)
+		}
+	}
+	h.kinds[name] = kind
+	h.parents[name] = append([]string(nil), parents...)
+	return nil
+}
+
+// AddISA adds an isa edge from child to parent after both exist. It rejects
+// edges that would create a cycle (the closure must stay a partial order).
+func (h *Hierarchy) AddISA(child, parent string) error {
+	if _, ok := h.kinds[child]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubject, child)
+	}
+	pk, ok := h.kinds[parent]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubject, parent)
+	}
+	if pk == User {
+		return fmt.Errorf("%w: %q under user %q", ErrUserParent, child, parent)
+	}
+	if child == parent || h.ISA(parent, child) {
+		return fmt.Errorf("%w: isa(%s, %s)", ErrCycle, child, parent)
+	}
+	for _, p := range h.parents[child] {
+		if p == parent {
+			return nil // idempotent
+		}
+	}
+	h.parents[child] = append(h.parents[child], parent)
+	return nil
+}
+
+// Exists reports whether name is a declared subject.
+func (h *Hierarchy) Exists(name string) bool {
+	_, ok := h.kinds[name]
+	return ok
+}
+
+// KindOf returns the kind of a subject; ok is false for unknown names.
+func (h *Hierarchy) KindOf(name string) (Kind, bool) {
+	k, ok := h.kinds[name]
+	return k, ok
+}
+
+// ISA implements the reflexive-transitive closure of axioms 11 and 12:
+// it reports whether subject s "is a" subject target. Unknown subjects are
+// related to nothing (closed world).
+func (h *Hierarchy) ISA(s, target string) bool {
+	if _, ok := h.kinds[s]; !ok {
+		return false
+	}
+	if _, ok := h.kinds[target]; !ok {
+		return false
+	}
+	if s == target {
+		return true // axiom 11: reflexivity
+	}
+	// Axiom 12: transitivity, via upward search.
+	seen := map[string]bool{s: true}
+	stack := append([]string(nil), h.parents[s]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, h.parents[cur]...)
+	}
+	return false
+}
+
+// Ancestors returns every subject s' with isa(s, s'), including s itself,
+// sorted by name. It is the set of subjects whose rules apply to s.
+func (h *Hierarchy) Ancestors(s string) []string {
+	if _, ok := h.kinds[s]; !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	var visit func(string)
+	visit = func(cur string) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		for _, p := range h.parents[cur] {
+			visit(p)
+		}
+	}
+	visit(s)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parents returns the direct isa parents of s.
+func (h *Hierarchy) Parents(s string) []string {
+	return append([]string(nil), h.parents[s]...)
+}
+
+// Members returns every subject s with isa(s, role), including the role
+// itself, sorted by name — the downward closure.
+func (h *Hierarchy) Members(role string) []string {
+	if _, ok := h.kinds[role]; !ok {
+		return nil
+	}
+	var out []string
+	for name := range h.kinds {
+		if h.ISA(name, role) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Users returns all declared users, sorted by name.
+func (h *Hierarchy) Users() []string { return h.byKind(User) }
+
+// Roles returns all declared roles, sorted by name.
+func (h *Hierarchy) Roles() []string { return h.byKind(Role) }
+
+func (h *Hierarchy) byKind(k Kind) []string {
+	var out []string
+	for name, kind := range h.kinds {
+		if kind == k {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the hierarchy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := NewHierarchy()
+	for name, k := range h.kinds {
+		c.kinds[name] = k
+	}
+	for name, ps := range h.parents {
+		c.parents[name] = append([]string(nil), ps...)
+	}
+	return c
+}
+
+// Facts enumerates the subject(s) and direct isa(s, s') facts — the sets S
+// of axiom 10 — for the logic reference model.
+func (h *Hierarchy) Facts() (subjects []string, isa [][2]string) {
+	subjects = make([]string, 0, len(h.kinds))
+	for name := range h.kinds {
+		subjects = append(subjects, name)
+	}
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		for _, p := range h.parents[s] {
+			isa = append(isa, [2]string{s, p})
+		}
+	}
+	return subjects, isa
+}
+
+// PaperHierarchy builds the Fig. 3 hierarchy: roles staff, secretary,
+// doctor, epidemiologist, patient; users beaufort (secretary), laporte
+// (doctor), richard (epidemiologist), robert and franck (patients).
+func PaperHierarchy() *Hierarchy {
+	h := NewHierarchy()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(h.AddRole("staff"))
+	must(h.AddRole("secretary", "staff"))
+	must(h.AddRole("doctor", "staff"))
+	must(h.AddRole("epidemiologist", "staff"))
+	must(h.AddRole("patient"))
+	must(h.AddUser("beaufort", "secretary"))
+	must(h.AddUser("laporte", "doctor"))
+	must(h.AddUser("richard", "epidemiologist"))
+	must(h.AddUser("robert", "patient"))
+	must(h.AddUser("franck", "patient"))
+	return h
+}

@@ -1,0 +1,278 @@
+package subject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndKinds(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.AddRole("staff"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddUser("alice", "staff"); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Exists("staff") || !h.Exists("alice") || h.Exists("bob") {
+		t.Error("Exists wrong")
+	}
+	if k, _ := h.KindOf("staff"); k != Role {
+		t.Error("staff should be a role")
+	}
+	if k, _ := h.KindOf("alice"); k != User {
+		t.Error("alice should be a user")
+	}
+	if _, ok := h.KindOf("bob"); ok {
+		t.Error("KindOf(bob) should report absence")
+	}
+	if Role.String() != "role" || User.String() != "user" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.AddRole(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := h.AddRole("staff"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRole("staff"); !errors.Is(err, ErrDuplicateSubject) {
+		t.Errorf("duplicate role: %v", err)
+	}
+	if err := h.AddRole("x", "ghost"); !errors.Is(err, ErrUnknownSubject) {
+		t.Errorf("unknown parent: %v", err)
+	}
+	if err := h.AddUser("u", "staff"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRole("y", "u"); !errors.Is(err, ErrUserParent) {
+		t.Errorf("user parent: %v", err)
+	}
+}
+
+func TestISAReflexiveTransitive(t *testing.T) {
+	h := PaperHierarchy()
+	cases := []struct {
+		s, target string
+		want      bool
+	}{
+		{"staff", "staff", true},           // axiom 11
+		{"beaufort", "beaufort", true},     // axiom 11 for users
+		{"secretary", "staff", true},       // direct edge
+		{"beaufort", "secretary", true},    // direct edge
+		{"beaufort", "staff", true},        // axiom 12: transitivity
+		{"laporte", "staff", true},
+		{"richard", "epidemiologist", true},
+		{"robert", "patient", true},
+		{"robert", "staff", false},
+		{"staff", "secretary", false}, // isa is directed
+		{"franck", "doctor", false},
+		{"ghost", "staff", false},
+		{"staff", "ghost", false},
+	}
+	for _, tc := range cases {
+		if got := h.ISA(tc.s, tc.target); got != tc.want {
+			t.Errorf("ISA(%s, %s) = %v, want %v", tc.s, tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	h := PaperHierarchy()
+	got := h.Ancestors("beaufort")
+	want := []string{"beaufort", "secretary", "staff"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors(beaufort) = %v, want %v", got, want)
+	}
+	if h.Ancestors("ghost") != nil {
+		t.Error("Ancestors of unknown subject should be nil")
+	}
+	if got := h.Ancestors("staff"); !reflect.DeepEqual(got, []string{"staff"}) {
+		t.Errorf("Ancestors(staff) = %v", got)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	h := PaperHierarchy()
+	got := h.Members("staff")
+	want := []string{"beaufort", "doctor", "epidemiologist", "laporte", "richard", "secretary", "staff"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Members(staff) = %v, want %v", got, want)
+	}
+	if h.Members("ghost") != nil {
+		t.Error("Members of unknown subject should be nil")
+	}
+}
+
+func TestUsersRoles(t *testing.T) {
+	h := PaperHierarchy()
+	wantUsers := []string{"beaufort", "franck", "laporte", "richard", "robert"}
+	if got := h.Users(); !reflect.DeepEqual(got, wantUsers) {
+		t.Errorf("Users() = %v", got)
+	}
+	wantRoles := []string{"doctor", "epidemiologist", "patient", "secretary", "staff"}
+	if got := h.Roles(); !reflect.DeepEqual(got, wantRoles) {
+		t.Errorf("Roles() = %v", got)
+	}
+}
+
+func TestAddISA(t *testing.T) {
+	h := NewHierarchy()
+	for _, r := range []string{"a", "b", "c"} {
+		if err := h.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.AddISA("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddISA("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if !h.ISA("a", "c") {
+		t.Error("transitive isa missing after AddISA")
+	}
+	// Idempotence.
+	if err := h.AddISA("a", "b"); err != nil {
+		t.Errorf("re-adding edge: %v", err)
+	}
+	if got := len(h.Parents("a")); got != 1 {
+		t.Errorf("duplicate edge recorded: %d parents", got)
+	}
+	// Cycles rejected.
+	if err := h.AddISA("c", "a"); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+	if err := h.AddISA("a", "a"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self edge: %v", err)
+	}
+	if err := h.AddISA("ghost", "a"); !errors.Is(err, ErrUnknownSubject) {
+		t.Errorf("unknown child: %v", err)
+	}
+	if err := h.AddISA("a", "ghost"); !errors.Is(err, ErrUnknownSubject) {
+		t.Errorf("unknown parent: %v", err)
+	}
+	if err := h.AddUser("u", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddISA("b", "u"); !errors.Is(err, ErrUserParent) {
+		t.Errorf("user as parent: %v", err)
+	}
+}
+
+func TestMultipleInheritance(t *testing.T) {
+	h := NewHierarchy()
+	for _, r := range []string{"admin", "medical"} {
+		if err := h.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.AddUser("head", "admin", "medical"); err != nil {
+		t.Fatal(err)
+	}
+	if !h.ISA("head", "admin") || !h.ISA("head", "medical") {
+		t.Error("multi-parent isa broken")
+	}
+	want := []string{"admin", "head", "medical"}
+	if got := h.Ancestors("head"); !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors(head) = %v", got)
+	}
+}
+
+func TestDiamondHierarchy(t *testing.T) {
+	// a -> b -> d, a -> c -> d: closure must not loop or duplicate.
+	h := NewHierarchy()
+	for _, r := range []string{"d", "b", "c", "a"} {
+		if err := h.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"b", "d"}, {"c", "d"}, {"a", "b"}, {"a", "c"}} {
+		if err := h.AddISA(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.ISA("a", "d") {
+		t.Error("diamond closure broken")
+	}
+	if got := h.Ancestors("a"); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Errorf("Ancestors(a) = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := PaperHierarchy()
+	c := h.Clone()
+	if err := c.AddRole("nurse", "staff"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Exists("nurse") {
+		t.Error("mutating clone changed the original")
+	}
+	if !c.ISA("nurse", "staff") {
+		t.Error("clone lost edges")
+	}
+}
+
+func TestFacts(t *testing.T) {
+	h := PaperHierarchy()
+	subjects, isa := h.Facts()
+	if len(subjects) != 10 {
+		t.Errorf("%d subjects, want 10 (Fig. 3)", len(subjects))
+	}
+	if len(isa) != 8 {
+		t.Errorf("%d direct isa facts, want 8", len(isa))
+	}
+	for _, e := range isa {
+		if !h.ISA(e[0], e[1]) {
+			t.Errorf("fact isa(%s, %s) not in closure", e[0], e[1])
+		}
+	}
+}
+
+// TestQuickISAPartialOrder checks closure properties on a random DAG:
+// reflexivity, transitivity, antisymmetry.
+func TestQuickISAPartialOrder(t *testing.T) {
+	build := func(edges []uint8) *Hierarchy {
+		h := NewHierarchy()
+		names := []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"}
+		for _, n := range names {
+			if err := h.AddRole(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range edges {
+			child := names[int(e)%len(names)]
+			parent := names[int(e/8)%len(names)]
+			_ = h.AddISA(child, parent) // cycles are rejected; that's fine
+		}
+		return h
+	}
+	f := func(edges []uint8) bool {
+		h := build(edges)
+		names := []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"}
+		for _, a := range names {
+			if !h.ISA(a, a) {
+				return false // reflexivity
+			}
+			for _, b := range names {
+				for _, c := range names {
+					if h.ISA(a, b) && h.ISA(b, c) && !h.ISA(a, c) {
+						return false // transitivity
+					}
+				}
+				if a != b && h.ISA(a, b) && h.ISA(b, a) {
+					return false // antisymmetry (no cycles survive)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

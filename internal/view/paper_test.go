@@ -1,0 +1,172 @@
+package view
+
+// Reproductions of Fig. 1 and the four §4.4.1 views (experiments F1 and E6
+// in DESIGN.md): the views of the medical-files database derived for
+// secretaries, patient robert, epidemiologists and doctors under the
+// axiom-13 policy.
+
+import (
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+)
+
+// viewFact is a (kind, label) pair in document order.
+type viewFact struct {
+	kind  xmltree.Kind
+	label string
+}
+
+func viewFacts(v *View) []viewFact {
+	var out []viewFact
+	for _, n := range v.Doc.Nodes() {
+		out = append(out, viewFact{n.Kind(), n.Label()})
+	}
+	return out
+}
+
+func expectView(t *testing.T, v *View, want []viewFact) {
+	t.Helper()
+	got := viewFacts(v)
+	if len(got) != len(want) {
+		t.Fatalf("view has %d nodes, want %d:\n%s", len(got), len(want), v.Doc.Sketch())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("view node %d = (%s, %q), want (%s, %q)\n%s",
+				i, got[i].kind, got[i].label, want[i].kind, want[i].label, v.Doc.Sketch())
+		}
+	}
+}
+
+func paperView(t *testing.T, user string) *View {
+	t.Helper()
+	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return materialize(t, d, h, p, user)
+}
+
+// TestSecretaryView reproduces the §4.4.1 secretary view: everything except
+// diagnosis content, which shows as RESTRICTED ("if the diagnosis is posed,
+// they are provided with the RESTRICTED label").
+func TestSecretaryView(t *testing.T) {
+	v := paperView(t, "beaufort")
+	expectView(t, v, []viewFact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, "franck"},
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "otolaryngology"},
+		{xmltree.KindElement, "diagnosis"},
+		{xmltree.KindText, xmltree.Restricted}, // node(n6, RESTRICTED)
+		{xmltree.KindElement, "robert"},
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "pneumology"},
+		{xmltree.KindElement, "diagnosis"},
+		{xmltree.KindText, xmltree.Restricted},
+	})
+	if v.Restricted != 2 || v.Hidden != 0 {
+		t.Errorf("Restricted=%d Hidden=%d, want 2/0", v.Restricted, v.Hidden)
+	}
+}
+
+// TestPatientRobertView reproduces the §4.4.1 view for patient robert: the
+// patients element and his own medical file only.
+func TestPatientRobertView(t *testing.T) {
+	v := paperView(t, "robert")
+	expectView(t, v, []viewFact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, "robert"},      // n7
+		{xmltree.KindElement, "service"},     // n8
+		{xmltree.KindText, "pneumology"},     // n9
+		{xmltree.KindElement, "diagnosis"},   // n10
+		{xmltree.KindText, "pneumonia"},      // n11
+	})
+	if v.Restricted != 0 {
+		t.Errorf("Restricted = %d", v.Restricted)
+	}
+	// franck's subtree (5 nodes) is hidden.
+	if v.Hidden != 5 {
+		t.Errorf("Hidden = %d, want 5", v.Hidden)
+	}
+}
+
+// TestEpidemiologistView reproduces the §4.4.1 epidemiologist view: patient
+// names RESTRICTED, all medical content visible.
+func TestEpidemiologistView(t *testing.T) {
+	v := paperView(t, "richard")
+	expectView(t, v, []viewFact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, xmltree.Restricted}, // node(n2, RESTRICTED)
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "otolaryngology"},
+		{xmltree.KindElement, "diagnosis"},
+		{xmltree.KindText, "tonsillitis"},
+		{xmltree.KindElement, xmltree.Restricted}, // node(n7, RESTRICTED)
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "pneumology"},
+		{xmltree.KindElement, "diagnosis"},
+		{xmltree.KindText, "pneumonia"},
+	})
+	if v.Restricted != 2 {
+		t.Errorf("Restricted = %d, want 2", v.Restricted)
+	}
+}
+
+// TestDoctorView: "Doctors can see everything without restriction" — the
+// view is the whole database of axiom 1.
+func TestDoctorView(t *testing.T) {
+	v := paperView(t, "laporte")
+	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(v.Doc, d) {
+		t.Errorf("doctor view is not the full database:\n%s", v.Doc.Sketch())
+	}
+}
+
+// TestFig1View reproduces Fig. 1 exactly: a user with read on everything
+// except the patient-name element, on which they hold only position. The
+// right tree of the figure: /patients, /RESTRICTED, /diagnosis,
+// text()pneumonia.
+func TestFig1View(t *testing.T) {
+	d, err := xmltree.ParseString(
+		`<patients><robert><diagnosis>pneumonia</diagnosis></robert></patients>`,
+		xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.NewHierarchy()
+	if err := h.AddUser("s"); err != nil {
+		t.Fatal(err)
+	}
+	p := policy.New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(p.Grant(h, policy.Read, "/descendant-or-self::node()", "s"))
+	must(p.Revoke(h, policy.Read, "/patients/robert", "s"))
+	must(p.Grant(h, policy.Position, "/patients/robert", "s"))
+	v := materialize(t, d, h, p, "s")
+	expectView(t, v, []viewFact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, xmltree.Restricted},
+		{xmltree.KindElement, "diagnosis"},
+		{xmltree.KindText, "pneumonia"},
+	})
+}

@@ -1,0 +1,203 @@
+// Package workload generates synthetic databases, subject hierarchies and
+// policies at parameterized scale for the benchmark harness. The paper has
+// no empirical evaluation (it is a formal model); these generators provide
+// the scaling study a systems release needs (experiments B1–B6 in
+// DESIGN.md). All generation is deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"securexml/internal/labeling"
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+)
+
+// services and illnesses provide label variety for hospital documents.
+var (
+	services  = []string{"cardiology", "oncology", "pneumology", "otolaryngology", "neurology", "orthopedics"}
+	illnesses = []string{"tonsillitis", "pneumonia", "angina", "bronchitis", "migraine", "fracture", "flu"}
+)
+
+// HospitalConfig sizes a synthetic medical-files database in the shape of
+// the paper's Fig. 2.
+type HospitalConfig struct {
+	// Patients is the number of patient elements under /patients.
+	Patients int
+	// RecordsPerPatient adds extra visit records under each patient
+	// (deepens the tree). 0 keeps the paper's flat shape.
+	RecordsPerPatient int
+	// Seed drives deterministic generation.
+	Seed int64
+	// Scheme selects the labeling scheme (nil = fracpath).
+	Scheme labeling.Scheme
+}
+
+// Hospital builds the document. Patient elements are named p0, p1, ... so
+// the paper's $USER-based patient rule works with synthetic users of the
+// same names.
+func Hospital(cfg HospitalConfig) (*xmltree.Document, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := xmltree.New(cfg.Scheme)
+	root, err := d.AppendChild(d.Root(), xmltree.KindElement, "patients")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Patients; i++ {
+		p, err := d.AppendChild(root, xmltree.KindElement, fmt.Sprintf("p%d", i))
+		if err != nil {
+			return nil, err
+		}
+		svc, err := d.AppendChild(p, xmltree.KindElement, "service")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.AppendChild(svc, xmltree.KindText, services[rng.Intn(len(services))]); err != nil {
+			return nil, err
+		}
+		diag, err := d.AppendChild(p, xmltree.KindElement, "diagnosis")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.AppendChild(diag, xmltree.KindText, illnesses[rng.Intn(len(illnesses))]); err != nil {
+			return nil, err
+		}
+		for r := 0; r < cfg.RecordsPerPatient; r++ {
+			rec, err := d.AppendChild(p, xmltree.KindElement, "record")
+			if err != nil {
+				return nil, err
+			}
+			note, err := d.AppendChild(rec, xmltree.KindElement, "note")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := d.AppendChild(note, xmltree.KindText,
+				fmt.Sprintf("visit %d: %s", r, illnesses[rng.Intn(len(illnesses))])); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// HospitalHierarchy builds the paper's role tree plus nPatients synthetic
+// patient users named p0..p(n-1) matching the Hospital document.
+func HospitalHierarchy(nPatients int) (*subject.Hierarchy, error) {
+	h := subject.NewHierarchy()
+	steps := []error{
+		h.AddRole("staff"),
+		h.AddRole("secretary", "staff"),
+		h.AddRole("doctor", "staff"),
+		h.AddRole("epidemiologist", "staff"),
+		h.AddRole("patient"),
+		h.AddUser("beaufort", "secretary"),
+		h.AddUser("laporte", "doctor"),
+		h.AddUser("richard", "epidemiologist"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nPatients; i++ {
+		if err := h.AddUser(fmt.Sprintf("p%d", i), "patient"); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// HospitalPolicy is the axiom-13 policy transposed to the synthetic
+// documents.
+func HospitalPolicy(h *subject.Hierarchy) (*policy.Policy, error) {
+	return policy.PaperPolicy(h)
+}
+
+// ScaledPolicy appends n extra rule pairs (accept + partial deny) targeting
+// rotating paths, on top of the paper policy — for the conflict-resolution
+// scaling benchmark (B6). Rules bind to the staff role so they apply to
+// staff sessions.
+func ScaledPolicy(h *subject.Hierarchy, n int) (*policy.Policy, error) {
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		return nil, err
+	}
+	paths := []string{
+		"//service", "//diagnosis", "//record", "//note",
+		"//service/node()", "//record/node()", "/patients/*",
+	}
+	for i := 0; i < n; i++ {
+		path := paths[i%len(paths)]
+		eff := policy.Accept
+		if i%3 == 2 {
+			eff = policy.Deny
+		}
+		priv := policy.Privileges[i%len(policy.Privileges)]
+		err := p.Add(h, policy.Rule{
+			Effect: eff, Privilege: priv, Path: path,
+			Subject: "staff", Priority: int64(100 + i),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// TreeConfig sizes a generic random tree.
+type TreeConfig struct {
+	// Nodes is the approximate element count.
+	Nodes int
+	// MaxFanout bounds children per element.
+	MaxFanout int
+	// Seed drives deterministic generation.
+	Seed int64
+	// Scheme selects the labeling scheme (nil = fracpath).
+	Scheme labeling.Scheme
+}
+
+// RandomTree builds a random element tree with occasional text leaves, for
+// XPath and labeling benchmarks.
+func RandomTree(cfg TreeConfig) (*xmltree.Document, error) {
+	if cfg.MaxFanout <= 0 {
+		cfg.MaxFanout = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := xmltree.New(cfg.Scheme)
+	root, err := d.AppendChild(d.Root(), xmltree.KindElement, "root")
+	if err != nil {
+		return nil, err
+	}
+	open := []*xmltree.Node{root}
+	names := []string{"a", "b", "c", "d", "item", "group"}
+	for count := 1; count < cfg.Nodes; {
+		parent := open[rng.Intn(len(open))]
+		n, err := d.AppendChild(parent, xmltree.KindElement, names[rng.Intn(len(names))])
+		if err != nil {
+			return nil, err
+		}
+		count++
+		if rng.Intn(3) == 0 {
+			if _, err := d.AppendChild(n, xmltree.KindText, fmt.Sprintf("v%d", count)); err != nil {
+				return nil, err
+			}
+			count++
+		}
+		if len(open) < cfg.MaxFanout*4 || rng.Intn(2) == 0 {
+			open = append(open, n)
+		}
+	}
+	return d, nil
+}
+
+// XML renders any document to a string (convenience for examples/benches).
+func XML(d *xmltree.Document) string {
+	var b strings.Builder
+	if err := d.Write(&b, xmltree.WriteOptions{Indent: "  "}); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"securexml/internal/labeling"
+	"securexml/internal/policy"
+	"securexml/internal/view"
+	"securexml/internal/xpath"
+)
+
+func TestHospitalShape(t *testing.T) {
+	d, err := Hospital(HospitalConfig{Patients: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patients, err := xpath.Select(d, "/patients/*", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patients) != 10 {
+		t.Fatalf("%d patients, want 10", len(patients))
+	}
+	diag, err := xpath.Select(d, "//diagnosis/text()", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag) != 10 {
+		t.Errorf("%d diagnosis texts", len(diag))
+	}
+	// Deterministic per seed.
+	d2, err := Hospital(HospitalConfig{Patients: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XML() != d2.XML() {
+		t.Error("generation not deterministic")
+	}
+	d3, err := Hospital(HospitalConfig{Patients: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XML() == d3.XML() {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestHospitalRecordsDeepenTree(t *testing.T) {
+	d, err := Hospital(HospitalConfig{Patients: 3, RecordsPerPatient: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := xpath.Select(d, "//record", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 12 {
+		t.Errorf("%d records, want 12", len(recs))
+	}
+}
+
+func TestHospitalEndToEndWithPaperPolicy(t *testing.T) {
+	d, err := Hospital(HospitalConfig{Patients: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HospitalHierarchy(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := HospitalPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patient p2 sees exactly their own file.
+	pm, err := p.Evaluate(d, h, "p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Materialize(d, pm)
+	own, err := xpath.Select(v.Doc, "/patients/*", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(own) != 1 || own[0].Label() != "p2" {
+		t.Errorf("p2 sees %d patients", len(own))
+	}
+	// Secretary sees all patients but restricted diagnosis content.
+	pmS, err := p.Evaluate(d, h, "beaufort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vS := view.Materialize(d, pmS)
+	if vS.Restricted != 5 {
+		t.Errorf("secretary view restricted = %d, want 5", vS.Restricted)
+	}
+}
+
+func TestScaledPolicy(t *testing.T) {
+	h, err := HospitalHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ScaledPolicy(h, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 62 {
+		t.Errorf("rules = %d, want 62", p.Len())
+	}
+	// The scaled policy still evaluates cleanly.
+	d, err := Hospital(HospitalConfig{Patients: 3, RecordsPerPatient: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Evaluate(d, h, "laporte"); err != nil {
+		t.Fatal(err)
+	}
+	_ = policy.Read // keep the import honest if assertions change
+}
+
+func TestRandomTree(t *testing.T) {
+	d, err := RandomTree(TreeConfig{Nodes: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Len(); got < 450 || got > 560 {
+		t.Errorf("tree size %d not near 500", got)
+	}
+	d2, err := RandomTree(TreeConfig{Nodes: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XML() != d2.XML() {
+		t.Error("random tree not deterministic per seed")
+	}
+	// Alternate scheme works too.
+	d3, err := RandomTree(TreeConfig{Nodes: 100, Seed: 7, Scheme: labeling.NewLSDX()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Scheme().Name() != "lsdx" {
+		t.Error("scheme option ignored")
+	}
+	if XML(d3) == "" {
+		t.Error("XML helper failed")
+	}
+}

@@ -1,0 +1,190 @@
+package xmltree
+
+// Additional edge-case coverage: MirrorChild invariants, serializer corner
+// cases, clones with attributes, and the remaining small accessors.
+
+import (
+	"strings"
+	"testing"
+
+	"securexml/internal/labeling"
+)
+
+func TestMirrorChildHappyPath(t *testing.T) {
+	src := MustParse(`<a x="1"><b>t</b><c/></a>`)
+	dst := New(src.Scheme())
+	// Mirror the whole tree in document order.
+	var mirror func(dstParent *Node, srcParent *Node)
+	mirror = func(dstParent, srcParent *Node) {
+		for _, a := range srcParent.Attributes() {
+			n, err := dst.MirrorChild(dstParent, a.Kind(), a.Label(), a.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror(n, a)
+		}
+		for _, c := range srcParent.Children() {
+			n, err := dst.MirrorChild(dstParent, c.Kind(), c.Label(), c.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror(n, c)
+		}
+	}
+	mirror(dst.Root(), src.Root())
+	if !Equal(src, dst) {
+		t.Fatalf("mirrored tree differs:\n%s\nvs\n%s", src.Sketch(), dst.Sketch())
+	}
+}
+
+func TestMirrorChildRejectsViolations(t *testing.T) {
+	src := MustParse("<a><b/><c/></a>")
+	a := src.RootElement()
+	b, c := a.Children()[0], a.Children()[1]
+
+	dst := New(src.Scheme())
+	da, err := dst.MirrorChild(dst.Root(), KindElement, "a", a.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not a child identifier of the parent.
+	if _, err := dst.MirrorChild(dst.Root(), KindElement, "x", b.ID()); err == nil {
+		t.Error("grandchild identifier accepted under the document node")
+	}
+	// Out of document order.
+	if _, err := dst.MirrorChild(da, KindElement, "c", c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.MirrorChild(da, KindElement, "b", b.ID()); err == nil {
+		t.Error("out-of-order mirror accepted")
+	}
+	// Duplicate identifier.
+	if _, err := dst.MirrorChild(da, KindElement, "c2", c.ID()); err == nil {
+		t.Error("duplicate identifier accepted")
+	}
+	// Foreign parent.
+	if _, err := src.MirrorChild(da, KindElement, "x", c.ID()); err == nil {
+		t.Error("foreign parent accepted")
+	}
+}
+
+func TestSchemeAndFragmentAccessors(t *testing.T) {
+	d := New(labeling.NewLSDX())
+	if d.Scheme().Name() != "lsdx" {
+		t.Errorf("Scheme = %q", d.Scheme().Name())
+	}
+	if d.IsFragment() {
+		t.Error("plain document reports fragment")
+	}
+	f := NewFragment(nil)
+	if !f.IsFragment() {
+		t.Error("fragment does not report fragment")
+	}
+}
+
+func TestNodeNameAndDescendant(t *testing.T) {
+	d := MustParse(`<a x="1"><b>t</b></a>`)
+	a := d.RootElement()
+	b := a.Children()[0]
+	txt := b.Children()[0]
+	if a.Name() != "a" || a.Attr("x").Name() != "x" {
+		t.Error("Name of element/attribute wrong")
+	}
+	if txt.Name() != "" || d.Root().Name() != "" {
+		t.Error("Name of text/document should be empty")
+	}
+	if !txt.IsDescendantOf(a) || !b.IsDescendantOf(a) {
+		t.Error("IsDescendantOf false negatives")
+	}
+	if a.IsDescendantOf(b) || a.IsDescendantOf(a) {
+		t.Error("IsDescendantOf false positives")
+	}
+	if !a.Attr("x").IsDescendantOf(a) {
+		t.Error("attribute not a descendant of its element")
+	}
+}
+
+func TestSerializeCornerCases(t *testing.T) {
+	// Empty element, mixed content, comments, attribute on nested element.
+	d, err := ParseString(`<a><empty/><mix>text<b/>tail</mix><!--c--></a>`,
+		ParseOptions{KeepComments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := d.CompactXML()
+	for _, want := range []string{"<empty/>", "<!--c-->", "text", "tail"} {
+		if !strings.Contains(compact, want) {
+			t.Errorf("compact output missing %q: %s", want, compact)
+		}
+	}
+	pretty := d.XML()
+	d2, err := ParseString(pretty, ParseOptions{KeepComments: true})
+	if err != nil {
+		t.Fatalf("pretty output not reparseable: %v\n%s", err, pretty)
+	}
+	if !sameShape(d.Root(), d2.Root()) {
+		t.Error("pretty round trip changed the tree")
+	}
+}
+
+func TestWriteFragmentMultiRoot(t *testing.T) {
+	f := MustParseFragment("<a/>text<b/>")
+	out := f.CompactXML()
+	if !strings.Contains(out, "<a/>") || !strings.Contains(out, "<b/>") || !strings.Contains(out, "text") {
+		t.Errorf("fragment serialization wrong: %q", out)
+	}
+}
+
+func TestCloneWithAttributes(t *testing.T) {
+	d := MustParse(`<a x="1" y="2"><b z="3">t</b></a>`)
+	c := d.Clone()
+	if !Equal(d, c) {
+		t.Fatal("clone with attributes not Equal")
+	}
+	// nodeEqual notices attribute differences.
+	if _, err := c.SetAttribute(c.RootElement(), "x", "changed"); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(d, c) {
+		t.Error("Equal missed attribute value change")
+	}
+	d2 := MustParse(`<a x="1"><b/></a>`)
+	d3 := MustParse(`<a><b/></a>`)
+	if Equal(d2, d3) {
+		t.Error("Equal missed attribute count difference")
+	}
+}
+
+func TestGraftCopiesAttributes(t *testing.T) {
+	d := MustParse("<root/>")
+	frag := MustParseFragment(`<item id="7" cls="x"><sub k="v">t</sub></item>`)
+	top, err := d.Graft(d.RootElement(), GraftAppend, frag.Root().Children()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := top.AttrValue("id"); got != "7" {
+		t.Errorf("grafted @id = %q", got)
+	}
+	sub := top.Children()[0]
+	if got, _ := sub.AttrValue("k"); got != "v" {
+		t.Errorf("nested grafted @k = %q", got)
+	}
+	if sub.StringValue() != "t" {
+		t.Errorf("nested text = %q", sub.StringValue())
+	}
+}
+
+func TestSetAttributeOnEmptiedAttr(t *testing.T) {
+	// Replacing the value of an attribute whose text child was removed.
+	d := MustParse(`<a x="1"/>`)
+	attr := d.RootElement().Attr("x")
+	if err := d.Remove(attr.FirstChild()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SetAttribute(d.RootElement(), "x", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.RootElement().AttrValue("x"); got != "2" {
+		t.Errorf("@x = %q", got)
+	}
+}

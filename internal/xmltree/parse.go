@@ -1,0 +1,132 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"securexml/internal/labeling"
+)
+
+// ParseOptions controls document parsing.
+type ParseOptions struct {
+	// Scheme is the labeling scheme to number nodes with; nil means fracpath.
+	Scheme labeling.Scheme
+	// KeepWhitespace keeps whitespace-only text nodes. By default they are
+	// dropped, matching the paper's data-centric tree model.
+	KeepWhitespace bool
+	// KeepComments keeps comment nodes. By default they are dropped.
+	KeepComments bool
+	// Fragment allows several top-level elements.
+	Fragment bool
+	// KeepPrefixes labels namespaced elements and attributes as
+	// "<space>:<local>", where <space> is the resolved namespace URL (or
+	// the verbatim prefix when undeclared). Default parsing keeps local
+	// names only, matching the paper's namespace-free model; stylesheet
+	// parsing (internal/xslt) needs to tell xsl: instructions from literal
+	// result elements.
+	KeepPrefixes bool
+}
+
+// prefixedName renders a name under the KeepPrefixes convention.
+func prefixedName(n xml.Name, keep bool) string {
+	if keep && n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}
+
+// Parse reads an XML document from r into a tree, numbering every node with
+// a persistent identifier as it is created.
+func Parse(r io.Reader, opts ParseOptions) (*Document, error) {
+	var d *Document
+	if opts.Fragment {
+		d = NewFragment(opts.Scheme)
+	} else {
+		d = New(opts.Scheme)
+	}
+	dec := xml.NewDecoder(r)
+	cur := d.root
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el, err := d.AppendChild(cur, KindElement, prefixedName(t.Name, opts.KeepPrefixes))
+			if err != nil {
+				return nil, fmt.Errorf("xmltree: parse <%s>: %w", t.Name.Local, err)
+			}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue // namespace declarations are not attributes here
+				}
+				if _, err := d.SetAttribute(el, prefixedName(a.Name, opts.KeepPrefixes), a.Value); err != nil {
+					return nil, fmt.Errorf("xmltree: parse attribute %s: %w", a.Name.Local, err)
+				}
+			}
+			cur = el
+		case xml.EndElement:
+			if cur.kind != KindElement {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element </%s>", t.Name.Local)
+			}
+			cur = cur.parent
+		case xml.CharData:
+			text := string(t)
+			if !opts.KeepWhitespace && strings.TrimSpace(text) == "" {
+				continue
+			}
+			if cur.kind == KindDocument && !opts.Fragment {
+				continue // ignore stray top-level text outside fragments
+			}
+			if _, err := d.AppendChild(cur, KindText, text); err != nil {
+				return nil, fmt.Errorf("xmltree: parse text: %w", err)
+			}
+		case xml.Comment:
+			if !opts.KeepComments || cur.kind == KindDocument {
+				continue
+			}
+			if _, err := d.AppendChild(cur, KindComment, string(t)); err != nil {
+				return nil, fmt.Errorf("xmltree: parse comment: %w", err)
+			}
+		case xml.ProcInst, xml.Directive:
+			// Prologue noise; outside the model.
+		}
+	}
+	if cur != d.root {
+		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside <%s>", cur.label)
+	}
+	if !opts.Fragment && d.RootElement() == nil {
+		return nil, fmt.Errorf("xmltree: parse: document has no root element")
+	}
+	return d, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, opts ParseOptions) (*Document, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// MustParse parses s with default options and panics on error. For tests and
+// examples.
+func MustParse(s string) *Document {
+	d, err := ParseString(s, ParseOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustParseFragment parses a multi-rooted fragment and panics on error.
+func MustParseFragment(s string) *Document {
+	d, err := ParseString(s, ParseOptions{Fragment: true})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

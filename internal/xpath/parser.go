@@ -1,0 +1,464 @@
+package xpath
+
+import "fmt"
+
+// Compiled is a parsed, reusable XPath expression.
+type Compiled struct {
+	src  string
+	root expr
+}
+
+// Source returns the original expression text.
+func (c *Compiled) Source() string { return c.src }
+
+// String returns a normalized rendering of the parsed expression.
+func (c *Compiled) String() string { return c.root.String() }
+
+// Compile parses an XPath 1.0 expression.
+func Compile(src string) (*Compiled, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after complete expression", p.tok.kind)
+	}
+	return &Compiled{src: src, root: e}, nil
+}
+
+// MustCompile is Compile, panicking on error. For tests, examples and
+// package-level path constants.
+func MustCompile(src string) *Compiled {
+	c, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Expr: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s", k, p.tok.kind)
+	}
+	return p.advance()
+}
+
+// parseExpr parses OrExpr, the grammar's top production.
+func (p *parser) parseExpr() (expr, error) {
+	return p.parseBinary(0)
+}
+
+// binary operator precedence levels, loosest first.
+var precedence = []struct {
+	toks []tokenKind
+	ops  []binaryOp
+}{
+	{[]tokenKind{tokOr}, []binaryOp{opOr}},
+	{[]tokenKind{tokAnd}, []binaryOp{opAnd}},
+	{[]tokenKind{tokEq, tokNeq}, []binaryOp{opEq, opNeq}},
+	{[]tokenKind{tokLt, tokLeq, tokGt, tokGeq}, []binaryOp{opLt, opLeq, opGt, opGeq}},
+	{[]tokenKind{tokPlus, tokMinus}, []binaryOp{opPlus, opMinus}},
+	{[]tokenKind{tokMultiply, tokDiv, tokMod}, []binaryOp{opMul, opDiv, opMod}},
+}
+
+func (p *parser) parseBinary(level int) (expr, error) {
+	if level >= len(precedence) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op binaryOp
+		found := false
+		for i, tk := range precedence[level].toks {
+			if p.tok.kind == tk {
+				op = precedence[level].ops[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: op, l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	neg := 0
+	for p.tok.kind == tokMinus {
+		neg++
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	for ; neg > 0; neg-- {
+		e = &negExpr{e: e}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnion() (expr, error) {
+	left, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokUnion {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: opUnion, l: left, r: right}
+	}
+	return left, nil
+}
+
+// parsePath parses PathExpr: either a LocationPath, or a FilterExpr possibly
+// continued with '/' or '//' steps.
+func (p *parser) parsePath() (expr, error) {
+	switch p.tok.kind {
+	case tokSlash, tokSlashSlash:
+		return p.parseLocationPath(nil, true)
+	}
+	if p.startsStep() {
+		return p.parseLocationPath(nil, false)
+	}
+	// FilterExpr.
+	prim, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	var preds []expr
+	for p.tok.kind == tokLBracket {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+	}
+	var base expr = prim
+	if len(preds) > 0 {
+		base = &filterExpr{primary: prim, preds: preds}
+	}
+	if p.tok.kind == tokSlash || p.tok.kind == tokSlashSlash {
+		return p.parseLocationPath(base, false)
+	}
+	return base, nil
+}
+
+// startsStep reports whether the current token can begin a location step.
+func (p *parser) startsStep() bool {
+	switch p.tok.kind {
+	case tokDot, tokDotDot, tokAt, tokStar:
+		return true
+	case tokName:
+		// A name starts a step unless it is a function call — but node-type
+		// tests (text(), node(), …) are steps even with parentheses.
+		if p.peekIsLParen() {
+			switch p.tok.text {
+			case "text", "comment", "node", "processing-instruction":
+				return true
+			default:
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// peekIsLParen looks ahead one token without consuming it.
+func (p *parser) peekIsLParen() bool {
+	save := *p.lex
+	tok, err := p.lex.next()
+	*p.lex = save
+	return err == nil && tok.kind == tokLParen
+}
+
+// parseLocationPath parses steps. If base is non-nil the path extends a
+// filter expression. absolute indicates a leading '/' or '//' (only when
+// base is nil).
+func (p *parser) parseLocationPath(base expr, absolute bool) (expr, error) {
+	pe := &pathExpr{absolute: absolute, base: base}
+	if absolute {
+		switch p.tok.kind {
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if !p.startsStep() {
+				// Bare "/": the document node itself.
+				return pe, nil
+			}
+		case tokSlashSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pe.steps = append(pe.steps, step{axis: AxisDescendantOrSelf, test: nodeTest{kind: testNode}})
+		}
+	} else if base != nil {
+		// The filter expression is followed by '/' or '//'.
+		switch p.tok.kind {
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokSlashSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pe.steps = append(pe.steps, step{axis: AxisDescendantOrSelf, test: nodeTest{kind: testNode}})
+		}
+	}
+	for {
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = append(pe.steps, st)
+		switch p.tok.kind {
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokSlashSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pe.steps = append(pe.steps, step{axis: AxisDescendantOrSelf, test: nodeTest{kind: testNode}})
+		default:
+			return pe, nil
+		}
+	}
+}
+
+func (p *parser) parseStep() (step, error) {
+	switch p.tok.kind {
+	case tokDot:
+		if err := p.advance(); err != nil {
+			return step{}, err
+		}
+		return step{axis: AxisSelf, test: nodeTest{kind: testNode}}, nil
+	case tokDotDot:
+		if err := p.advance(); err != nil {
+			return step{}, err
+		}
+		return step{axis: AxisParent, test: nodeTest{kind: testNode}}, nil
+	}
+	st := step{axis: AxisChild}
+	if p.tok.kind == tokAt {
+		st.axis = AxisAttribute
+		if err := p.advance(); err != nil {
+			return step{}, err
+		}
+	} else if p.tok.kind == tokName {
+		// Possible explicit axis.
+		if ax, ok := axisNames[p.tok.text]; ok && p.peekIsColonColon() {
+			st.axis = ax
+			if err := p.advance(); err != nil { // axis name
+				return step{}, err
+			}
+			if err := p.advance(); err != nil { // '::'
+				return step{}, err
+			}
+		} else if p.peekIsColonColon() {
+			return step{}, p.errf("unknown axis %q", p.tok.text)
+		}
+	}
+	nt, err := p.parseNodeTest()
+	if err != nil {
+		return step{}, err
+	}
+	st.test = nt
+	for p.tok.kind == tokLBracket {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return step{}, err
+		}
+		st.preds = append(st.preds, pred)
+	}
+	return st, nil
+}
+
+func (p *parser) peekIsColonColon() bool {
+	save := *p.lex
+	tok, err := p.lex.next()
+	*p.lex = save
+	return err == nil && tok.kind == tokColonColon
+}
+
+func (p *parser) parseNodeTest() (nodeTest, error) {
+	switch p.tok.kind {
+	case tokStar:
+		if err := p.advance(); err != nil {
+			return nodeTest{}, err
+		}
+		return nodeTest{kind: testWildcard}, nil
+	case tokName:
+		name := p.tok.text
+		if p.peekIsLParen() {
+			var kind nodeTestKind
+			switch name {
+			case "text":
+				kind = testText
+			case "comment":
+				kind = testComment
+			case "node":
+				kind = testNode
+			case "processing-instruction":
+				kind = testPI
+			default:
+				return nodeTest{}, p.errf("unknown node type %q", name)
+			}
+			if err := p.advance(); err != nil { // name
+				return nodeTest{}, err
+			}
+			if err := p.expect(tokLParen); err != nil {
+				return nodeTest{}, err
+			}
+			if kind == testPI && p.tok.kind == tokLiteral {
+				if err := p.advance(); err != nil {
+					return nodeTest{}, err
+				}
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nodeTest{}, err
+			}
+			return nodeTest{kind: kind}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nodeTest{}, err
+		}
+		return nodeTest{kind: testName, name: name}, nil
+	default:
+		return nodeTest{}, p.errf("expected a node test, found %s", p.tok.kind)
+	}
+}
+
+func (p *parser) parsePredicate() (expr, error) {
+	if err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		lit := numberLit{val: parseNumber(p.tok.text), text: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case tokLiteral:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return stringLit(s), nil
+	case tokVariable:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return varRef(name), nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		name := p.tok.text
+		if !p.peekIsLParen() {
+			return nil, p.errf("unexpected name %q (not a function call)", name)
+		}
+		fn, ok := functions[name]
+		if !ok {
+			return nil, p.errf("unknown function %q", name)
+		}
+		if err := p.advance(); err != nil { // name
+			return nil, err
+		}
+		if err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		var args []expr
+		if p.tok.kind != tokRParen {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if len(args) < fn.minArgs || (fn.maxArgs >= 0 && len(args) > fn.maxArgs) {
+			return nil, p.errf("function %s called with %d arguments", name, len(args))
+		}
+		return &funcCall{name: name, fn: fn, args: args}, nil
+	default:
+		return nil, p.errf("unexpected %s", p.tok.kind)
+	}
+}

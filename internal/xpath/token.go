@@ -1,0 +1,364 @@
+// Package xpath implements an XPath 1.0 query engine over xmltree
+// documents: lexer, parser, and evaluator with the full axis set (except the
+// namespace axis), the core function library, and variable bindings.
+//
+// It is the interpretation of the paper's xpath(p, n, v) predicate (§3.4):
+// Select(doc, p) returns exactly the nodes n (with labels v) addressed by
+// path p. Variables — in particular $USER, which the paper's security
+// policies bind to the session login (§4.3) — are resolved from the
+// evaluation context.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokLiteral  // quoted string
+	tokName     // NCName / QName
+	tokVariable // $name
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokDot
+	tokDotDot
+	tokAt
+	tokComma
+	tokColonColon
+	tokSlash
+	tokSlashSlash
+	tokUnion    // |
+	tokPlus     // +
+	tokMinus    // -
+	tokEq       // =
+	tokNeq      // !=
+	tokLt       // <
+	tokLeq      // <=
+	tokGt       // >
+	tokGeq      // >=
+	tokStar     // * as wildcard name test
+	tokMultiply // * as operator
+	tokAnd      // 'and'
+	tokOr       // 'or'
+	tokDiv      // 'div'
+	tokMod      // 'mod'
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return "number"
+	case tokLiteral:
+		return "literal"
+	case tokName:
+		return "name"
+	case tokVariable:
+		return "variable"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokDot:
+		return "'.'"
+	case tokDotDot:
+		return "'..'"
+	case tokAt:
+		return "'@'"
+	case tokComma:
+		return "','"
+	case tokColonColon:
+		return "'::'"
+	case tokSlash:
+		return "'/'"
+	case tokSlashSlash:
+		return "'//'"
+	case tokUnion:
+		return "'|'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLeq:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGeq:
+		return "'>='"
+	case tokStar:
+		return "'*'"
+	case tokMultiply:
+		return "'*' (multiply)"
+	case tokAnd:
+		return "'and'"
+	case tokOr:
+		return "'or'"
+	case tokDiv:
+		return "'div'"
+	case tokMod:
+		return "'mod'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexical or grammatical error with its byte offset in
+// the original expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: syntax error at offset %d in %q: %s", e.Pos, e.Expr, e.Msg)
+}
+
+// lexer tokenizes an XPath 1.0 expression, applying the spec's
+// disambiguation rules: after a token that can end an operand, '*' is the
+// multiply operator and the names and/or/div/mod are operators; otherwise
+// '*' is a wildcard and those names are ordinary NCNames.
+type lexer struct {
+	src  string
+	pos  int
+	prev tokenKind
+	has  bool // a previous token exists
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Expr: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// operandEnd reports whether the previous token can terminate an operand,
+// which switches the lexer into "operator expected" mode per XPath 1.0 §3.7.
+func (l *lexer) operandEnd() bool {
+	if !l.has {
+		return false
+	}
+	switch l.prev {
+	case tokNumber, tokLiteral, tokName, tokVariable, tokRParen, tokRBracket,
+		tokDot, tokDotDot, tokStar:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) token {
+	l.prev, l.has = k, true
+	return token{kind: k, text: text, pos: pos}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return l.emit(tokLParen, "(", start), nil
+	case ')':
+		l.pos++
+		return l.emit(tokRParen, ")", start), nil
+	case '[':
+		l.pos++
+		return l.emit(tokLBracket, "[", start), nil
+	case ']':
+		l.pos++
+		return l.emit(tokRBracket, "]", start), nil
+	case ',':
+		l.pos++
+		return l.emit(tokComma, ",", start), nil
+	case '@':
+		l.pos++
+		return l.emit(tokAt, "@", start), nil
+	case '|':
+		l.pos++
+		return l.emit(tokUnion, "|", start), nil
+	case '+':
+		l.pos++
+		return l.emit(tokPlus, "+", start), nil
+	case '-':
+		l.pos++
+		return l.emit(tokMinus, "-", start), nil
+	case '=':
+		l.pos++
+		return l.emit(tokEq, "=", start), nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return l.emit(tokNeq, "!=", start), nil
+		}
+		return token{}, l.errf(start, "'!' must be followed by '='")
+	case '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return l.emit(tokLeq, "<=", start), nil
+		}
+		l.pos++
+		return l.emit(tokLt, "<", start), nil
+	case '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return l.emit(tokGeq, ">=", start), nil
+		}
+		l.pos++
+		return l.emit(tokGt, ">", start), nil
+	case '/':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return l.emit(tokSlashSlash, "//", start), nil
+		}
+		l.pos++
+		return l.emit(tokSlash, "/", start), nil
+	case '*':
+		l.pos++
+		if l.operandEnd() {
+			return l.emit(tokMultiply, "*", start), nil
+		}
+		return l.emit(tokStar, "*", start), nil
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return l.emit(tokColonColon, "::", start), nil
+		}
+		return token{}, l.errf(start, "unexpected ':'")
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return l.emit(tokDotDot, "..", start), nil
+		}
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return l.emit(tokDot, ".", start), nil
+	case '"', '\'':
+		return l.lexLiteral()
+	case '$':
+		return l.lexVariable()
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) || c >= utf8.RuneSelf {
+		return l.lexName()
+	}
+	return token{}, l.errf(start, "unexpected byte %q", c)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return l.emit(tokNumber, l.src[start:l.pos], start), nil
+}
+
+func (l *lexer) lexLiteral() (token, error) {
+	start := l.pos
+	quote := l.src[l.pos]
+	l.pos++
+	i := strings.IndexByte(l.src[l.pos:], quote)
+	if i < 0 {
+		return token{}, l.errf(start, "unterminated string literal")
+	}
+	text := l.src[l.pos : l.pos+i]
+	l.pos += i + 1
+	return l.emit(tokLiteral, text, start), nil
+}
+
+func (l *lexer) lexVariable() (token, error) {
+	start := l.pos
+	l.pos++ // consume '$'
+	if l.pos >= len(l.src) {
+		return token{}, l.errf(start, "'$' must be followed by a variable name")
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if !isNameStart(r) {
+		return token{}, l.errf(start, "'$' must be followed by a variable name")
+	}
+	name := l.scanNCName()
+	return l.emit(tokVariable, name, start), nil
+}
+
+func (l *lexer) lexName() (token, error) {
+	start := l.pos
+	name := l.scanNCName()
+	// Operator-name disambiguation.
+	if l.operandEnd() {
+		switch name {
+		case "and":
+			return l.emit(tokAnd, name, start), nil
+		case "or":
+			return l.emit(tokOr, name, start), nil
+		case "div":
+			return l.emit(tokDiv, name, start), nil
+		case "mod":
+			return l.emit(tokMod, name, start), nil
+		}
+	}
+	return l.emit(tokName, name, start), nil
+}
+
+func (l *lexer) scanNCName() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		l.pos += size
+	}
+	return l.src[start:l.pos]
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

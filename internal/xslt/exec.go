@@ -1,0 +1,586 @@
+package xslt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+// Transform applies the stylesheet to doc and returns the result as a
+// fragment document. vars supplies XPath variable bindings; sec optionally
+// restricts the transformation to a user's authorized view (nil = full
+// access) — this is the security-processor mode of §5.
+func (s *Stylesheet) Transform(doc *xmltree.Document, vars xpath.Vars, sec *xpath.Security) (*xmltree.Document, error) {
+	out := xmltree.NewFragment(doc.Scheme())
+	ex := &executor{
+		sheet: s,
+		doc:   doc,
+		vars:  vars,
+		sec:   sec,
+		out:   out,
+		cur:   out.Root(),
+		match: make(map[*compiledPattern]map[*xmltree.Node]bool, len(s.templates)*2),
+	}
+	if err := ex.applyTemplates([]*xmltree.Node{doc.Root()}); err != nil {
+		return nil, err
+	}
+	return ex.out, nil
+}
+
+// TransformString is Transform rendered to XML text.
+func (s *Stylesheet) TransformString(doc *xmltree.Document, vars xpath.Vars, sec *xpath.Security) (string, error) {
+	out, err := s.Transform(doc, vars, sec)
+	if err != nil {
+		return "", err
+	}
+	return out.XML(), nil
+}
+
+// executor carries one transformation run. cur is the current output
+// parent: instructions always append beneath it.
+type executor struct {
+	sheet *Stylesheet
+	doc   *xmltree.Document
+	vars  xpath.Vars
+	sec   *xpath.Security
+	out   *xmltree.Document
+	cur   *xmltree.Node
+	// match caches, per pattern, the set of source nodes it matches
+	// (evaluated once from the root, under the security filter).
+	match map[*compiledPattern]map[*xmltree.Node]bool
+	depth int
+}
+
+// maxDepth bounds template recursion (cyclic apply-templates guard).
+const maxDepth = 512
+
+// matches reports whether the template matches node n.
+func (ex *executor) matches(t *template, n *xmltree.Node) (bool, error) {
+	for _, cp := range t.patterns {
+		if cp.src == "/" {
+			if n.Kind() == xmltree.KindDocument {
+				return true, nil
+			}
+			continue
+		}
+		set, ok := ex.match[cp]
+		if !ok {
+			ns, err := cp.anchored.SelectFiltered(ex.doc.Root(), ex.vars, ex.sec)
+			if err != nil {
+				return false, fmt.Errorf("xslt: evaluating match %q: %w", cp.src, err)
+			}
+			set = make(map[*xmltree.Node]bool, len(ns))
+			for _, m := range ns {
+				set[m] = true
+			}
+			ex.match[cp] = set
+		}
+		if set[n] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// bestTemplate picks the highest-priority matching template (later
+// stylesheet order wins ties).
+func (ex *executor) bestTemplate(n *xmltree.Node) (*template, error) {
+	var best *template
+	for _, t := range ex.sheet.templates {
+		ok, err := ex.matches(t, n)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || t.priority >= best.priority {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// applyTemplates processes each node with its best template, falling back
+// to the XSLT built-in rules: document/element → recurse into children;
+// text/attribute → emit the (effective) string value.
+func (ex *executor) applyTemplates(nodes []*xmltree.Node) error {
+	ex.depth++
+	defer func() { ex.depth-- }()
+	if ex.depth > maxDepth {
+		return fmt.Errorf("xslt: template recursion deeper than %d (cyclic apply-templates?)", maxDepth)
+	}
+	for _, n := range nodes {
+		if !ex.sec.IsVisible(n) {
+			continue
+		}
+		t, err := ex.bestTemplate(n)
+		if err != nil {
+			return err
+		}
+		if t != nil {
+			if err := ex.sequence(t.body, n); err != nil {
+				return err
+			}
+			continue
+		}
+		switch n.Kind() {
+		case xmltree.KindDocument, xmltree.KindElement:
+			if err := ex.applyTemplates(n.Children()); err != nil {
+				return err
+			}
+		case xmltree.KindText, xmltree.KindAttribute:
+			if err := ex.emitText(ex.sec.StringValue(n)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sequence executes the children of a template/instruction element with
+// ctx as the context node, emitting under the current output parent.
+func (ex *executor) sequence(container, ctx *xmltree.Node) error {
+	for _, c := range container.Children() {
+		if err := ex.instruction(c, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// into runs fn with the output parent switched to el.
+func (ex *executor) into(el *xmltree.Node, fn func() error) error {
+	saved := ex.cur
+	ex.cur = el
+	err := fn()
+	ex.cur = saved
+	return err
+}
+
+func (ex *executor) emitText(text string) error {
+	if text == "" {
+		return nil
+	}
+	_, err := ex.out.AppendChild(ex.cur, xmltree.KindText, text)
+	return err
+}
+
+// instruction executes one node of a template body.
+func (ex *executor) instruction(n *xmltree.Node, ctx *xmltree.Node) error {
+	switch n.Kind() {
+	case xmltree.KindText:
+		return ex.emitText(n.Label())
+	case xmltree.KindElement:
+		// handled below
+	default:
+		return nil
+	}
+	local, isXSL := xslLocal(n)
+	if !isXSL {
+		return ex.literalElement(n, ctx)
+	}
+	switch local {
+	case "apply-templates":
+		sel := "child::node()"
+		if s, ok := n.AttrValue("select"); ok {
+			sel = s
+		}
+		ns, err := ex.selectNodes(sel, ctx)
+		if err != nil {
+			return err
+		}
+		specs, err := sortSpecs(n)
+		if err != nil {
+			return err
+		}
+		ns, err = ex.sortNodes(ns, specs)
+		if err != nil {
+			return err
+		}
+		return ex.applyTemplates(ns)
+	case "value-of":
+		sel, ok := n.AttrValue("select")
+		if !ok {
+			return fmt.Errorf("xslt: xsl:value-of lacks select")
+		}
+		v, err := ex.eval(sel, ctx)
+		if err != nil {
+			return err
+		}
+		return ex.emitText(ex.valueString(v))
+	case "for-each":
+		sel, ok := n.AttrValue("select")
+		if !ok {
+			return fmt.Errorf("xslt: xsl:for-each lacks select")
+		}
+		ns, err := ex.selectNodes(sel, ctx)
+		if err != nil {
+			return err
+		}
+		specs, err := sortSpecs(n)
+		if err != nil {
+			return err
+		}
+		ns, err = ex.sortNodes(ns, specs)
+		if err != nil {
+			return err
+		}
+		for _, item := range ns {
+			if err := ex.sequence(n, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "if":
+		test, ok := n.AttrValue("test")
+		if !ok {
+			return fmt.Errorf("xslt: xsl:if lacks test")
+		}
+		v, err := ex.eval(test, ctx)
+		if err != nil {
+			return err
+		}
+		if v.Bool() {
+			return ex.sequence(n, ctx)
+		}
+		return nil
+	case "choose":
+		for _, c := range n.Children() {
+			cl, isX := xslLocal(c)
+			if !isX {
+				continue
+			}
+			switch cl {
+			case "when":
+				test, ok := c.AttrValue("test")
+				if !ok {
+					return fmt.Errorf("xslt: xsl:when lacks test")
+				}
+				v, err := ex.eval(test, ctx)
+				if err != nil {
+					return err
+				}
+				if v.Bool() {
+					return ex.sequence(c, ctx)
+				}
+			case "otherwise":
+				return ex.sequence(c, ctx)
+			}
+		}
+		return nil
+	case "copy-of":
+		sel, ok := n.AttrValue("select")
+		if !ok {
+			return fmt.Errorf("xslt: xsl:copy-of lacks select")
+		}
+		v, err := ex.eval(sel, ctx)
+		if err != nil {
+			return err
+		}
+		if ns, isNS := v.(xpath.NodeSet); isNS {
+			for _, m := range ns {
+				if err := ex.secureCopy(m); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return ex.emitText(v.Str())
+	case "element":
+		name, ok := n.AttrValue("name")
+		if !ok {
+			return fmt.Errorf("xslt: xsl:element lacks name")
+		}
+		name, err := ex.expandAVT(name, ctx)
+		if err != nil {
+			return err
+		}
+		el, err := ex.out.AppendChild(ex.cur, xmltree.KindElement, name)
+		if err != nil {
+			return err
+		}
+		return ex.into(el, func() error { return ex.sequence(n, ctx) })
+	case "attribute":
+		name, ok := n.AttrValue("name")
+		if !ok {
+			return fmt.Errorf("xslt: xsl:attribute lacks name")
+		}
+		name, err := ex.expandAVT(name, ctx)
+		if err != nil {
+			return err
+		}
+		if ex.cur.Kind() != xmltree.KindElement {
+			return fmt.Errorf("xslt: xsl:attribute outside an element")
+		}
+		// Execute the body into a scratch element; its string value becomes
+		// the attribute value.
+		scratch, err := ex.out.AppendChild(ex.cur, xmltree.KindElement, "scratch")
+		if err != nil {
+			return err
+		}
+		if err := ex.into(scratch, func() error { return ex.sequence(n, ctx) }); err != nil {
+			return err
+		}
+		value := scratch.StringValue()
+		if err := ex.out.Remove(scratch); err != nil {
+			return err
+		}
+		_, err = ex.out.SetAttribute(ex.cur, name, value)
+		return err
+	case "text":
+		return ex.emitText(n.StringValue())
+	case "copy":
+		return ex.shallowCopy(n, ctx)
+	case "sort":
+		// Handled by the enclosing for-each/apply-templates; standalone
+		// sorts are meaningless.
+		return nil
+	default:
+		return fmt.Errorf("xslt: unsupported instruction xsl:%s", local)
+	}
+}
+
+// shallowCopy implements xsl:copy: a copy of the context node without
+// attributes or children, whose body executes inside the copy (for
+// elements). With the security filter the effective label is copied.
+func (ex *executor) shallowCopy(instr, ctx *xmltree.Node) error {
+	switch ctx.Kind() {
+	case xmltree.KindDocument:
+		// Copying the document node is a no-op wrapper.
+		return ex.sequence(instr, ctx)
+	case xmltree.KindText, xmltree.KindComment:
+		return ex.emitText(ex.sec.EffectiveLabel(ctx))
+	case xmltree.KindAttribute:
+		if ex.cur.Kind() != xmltree.KindElement {
+			return fmt.Errorf("xslt: xsl:copy of an attribute outside an element")
+		}
+		_, err := ex.out.SetAttribute(ex.cur, ex.sec.EffectiveLabel(ctx), ex.sec.StringValue(ctx))
+		return err
+	default: // element
+		el, err := ex.out.AppendChild(ex.cur, xmltree.KindElement, ex.sec.EffectiveLabel(ctx))
+		if err != nil {
+			return err
+		}
+		return ex.into(el, func() error { return ex.sequence(instr, ctx) })
+	}
+}
+
+// sortSpec is one xsl:sort criterion.
+type sortSpec struct {
+	selectExpr string
+	descending bool
+	numeric    bool
+}
+
+// sortSpecs extracts leading xsl:sort children of a for-each or
+// apply-templates instruction.
+func sortSpecs(n *xmltree.Node) ([]sortSpec, error) {
+	var specs []sortSpec
+	for _, c := range n.Children() {
+		local, isX := xslLocal(c)
+		if !isX || local != "sort" {
+			continue
+		}
+		spec := sortSpec{selectExpr: "."}
+		if sel, ok := c.AttrValue("select"); ok {
+			spec.selectExpr = sel
+		}
+		if ord, ok := c.AttrValue("order"); ok && ord == "descending" {
+			spec.descending = true
+		}
+		if dt, ok := c.AttrValue("data-type"); ok && dt == "number" {
+			spec.numeric = true
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// sortNodes orders ns by the sort criteria (stable; document order is the
+// tiebreak since the input arrives in document order).
+func (ex *executor) sortNodes(ns []*xmltree.Node, specs []sortSpec) ([]*xmltree.Node, error) {
+	if len(specs) == 0 {
+		return ns, nil
+	}
+	type keyed struct {
+		n    *xmltree.Node
+		keys []string
+		nums []float64
+	}
+	items := make([]keyed, len(ns))
+	for i, n := range ns {
+		items[i].n = n
+		for _, sp := range specs {
+			v, err := ex.eval(sp.selectExpr, n)
+			if err != nil {
+				return nil, err
+			}
+			s := ex.valueString(v)
+			items[i].keys = append(items[i].keys, s)
+			items[i].nums = append(items[i].nums, xpath.String(s).Num())
+		}
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		for k, sp := range specs {
+			var less, greater bool
+			if sp.numeric {
+				less = items[a].nums[k] < items[b].nums[k]
+				greater = items[a].nums[k] > items[b].nums[k]
+			} else {
+				c := strings.Compare(items[a].keys[k], items[b].keys[k])
+				less, greater = c < 0, c > 0
+			}
+			if sp.descending {
+				less, greater = greater, less
+			}
+			if less {
+				return true
+			}
+			if greater {
+				return false
+			}
+		}
+		return false
+	})
+	out := make([]*xmltree.Node, len(items))
+	for i, it := range items {
+		out[i] = it.n
+	}
+	return out, nil
+}
+
+// literalElement copies a literal result element, expanding attribute
+// value templates, and executes its children into it.
+func (ex *executor) literalElement(n *xmltree.Node, ctx *xmltree.Node) error {
+	el, err := ex.out.AppendChild(ex.cur, xmltree.KindElement, literalName(n.Label()))
+	if err != nil {
+		return err
+	}
+	for _, a := range n.Attributes() {
+		val, err := ex.expandAVT(a.StringValue(), ctx)
+		if err != nil {
+			return err
+		}
+		if _, err := ex.out.SetAttribute(el, literalName(a.Label()), val); err != nil {
+			return err
+		}
+	}
+	return ex.into(el, func() error { return ex.sequence(n, ctx) })
+}
+
+// secureCopy deep-copies a source node into the output under the filter:
+// invisible nodes vanish, labels are the effective ones.
+func (ex *executor) secureCopy(n *xmltree.Node) error {
+	if !ex.sec.IsVisible(n) {
+		return nil
+	}
+	switch n.Kind() {
+	case xmltree.KindDocument:
+		for _, c := range n.Children() {
+			if err := ex.secureCopy(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xmltree.KindAttribute:
+		if ex.cur.Kind() != xmltree.KindElement {
+			return ex.emitText(ex.sec.StringValue(n))
+		}
+		_, err := ex.out.SetAttribute(ex.cur, ex.sec.EffectiveLabel(n), ex.sec.StringValue(n))
+		return err
+	case xmltree.KindText, xmltree.KindComment:
+		return ex.emitText(ex.sec.EffectiveLabel(n))
+	default: // element
+		el, err := ex.out.AppendChild(ex.cur, xmltree.KindElement, ex.sec.EffectiveLabel(n))
+		if err != nil {
+			return err
+		}
+		return ex.into(el, func() error {
+			for _, a := range n.Attributes() {
+				if err := ex.secureCopy(a); err != nil {
+					return err
+				}
+			}
+			for _, c := range n.Children() {
+				if err := ex.secureCopy(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// eval evaluates an expression with ctx as context, under the filter.
+func (ex *executor) eval(src string, ctx *xmltree.Node) (xpath.Value, error) {
+	c, err := xpath.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("xslt: %w", err)
+	}
+	return c.EvalFiltered(ctx, ex.vars, ex.sec)
+}
+
+// selectNodes evaluates a node-set expression.
+func (ex *executor) selectNodes(src string, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+	c, err := xpath.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("xslt: %w", err)
+	}
+	return c.SelectFiltered(ctx, ex.vars, ex.sec)
+}
+
+// valueString converts an evaluation result to its string form, respecting
+// the filter for node-sets.
+func (ex *executor) valueString(v xpath.Value) string {
+	if ns, ok := v.(xpath.NodeSet); ok {
+		if len(ns) == 0 {
+			return ""
+		}
+		return ex.sec.StringValue(ns[0])
+	}
+	return v.Str()
+}
+
+// expandAVT substitutes {expr} attribute value templates.
+func (ex *executor) expandAVT(src string, ctx *xmltree.Node) (string, error) {
+	if !strings.ContainsAny(src, "{}") {
+		return src, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(src); {
+		switch src[i] {
+		case '{':
+			if i+1 < len(src) && src[i+1] == '{' { // escaped
+				b.WriteByte('{')
+				i += 2
+				continue
+			}
+			end := strings.IndexByte(src[i+1:], '}')
+			if end < 0 {
+				return "", fmt.Errorf("xslt: unterminated attribute value template in %q", src)
+			}
+			expr := src[i+1 : i+1+end]
+			v, err := ex.eval(expr, ctx)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(ex.valueString(v))
+			i += end + 2
+		case '}':
+			if i+1 < len(src) && src[i+1] == '}' { // escaped
+				b.WriteByte('}')
+				i += 2
+				continue
+			}
+			return "", fmt.Errorf("xslt: stray '}' in attribute value template %q", src)
+		default:
+			b.WriteByte(src[i])
+			i++
+		}
+	}
+	return b.String(), nil
+}

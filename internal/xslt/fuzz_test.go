@@ -1,0 +1,32 @@
+package xslt
+
+import (
+	"testing"
+
+	"securexml/internal/xmltree"
+)
+
+// FuzzParseStylesheet checks the stylesheet parser never panics and that
+// accepted stylesheets transform a small document without panicking
+// (errors are fine; crashes are not).
+func FuzzParseStylesheet(f *testing.F) {
+	seeds := []string{
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><r/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet><xsl:template match="*"><xsl:copy><xsl:apply-templates/></xsl:copy></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet><xsl:template match="a|b" priority="2"><xsl:value-of select="."/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet><xsl:template match="/"><e a="{name()}"><xsl:for-each select="//x"><xsl:sort select="@k"/><v/></xsl:for-each></e></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet><xsl:template match="/"><xsl:choose><xsl:when test="1">y</xsl:when><xsl:otherwise>n</xsl:otherwise></xsl:choose></xsl:template></xsl:stylesheet>`,
+		`<wrong/>`, ``, `<xsl:stylesheet>`, `<xsl:stylesheet><xsl:template match="//["/></xsl:stylesheet>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc := xmltree.MustParse("<a><b x='1'>t</b><c/></a>")
+	f.Fuzz(func(t *testing.T, src string) {
+		sheet, err := ParseStylesheet(src)
+		if err != nil {
+			return
+		}
+		_, _ = sheet.Transform(doc, nil, nil)
+	})
+}

@@ -1,0 +1,171 @@
+// Package xslt implements a compact XSLT 1.0 subset on top of the XPath
+// engine — the "XSLT-based security processor" the paper's conclusion
+// describes as work in progress (§5: "We are also currently implementing
+// an XSLT-based security processor based on our model").
+//
+// The security angle: Transform accepts an xpath.Security filter. With the
+// filter derived from a user's permissions (qfilter.ForPerms), the
+// stylesheet executes directly against the source document but can only
+// observe the user's authorized view — patterns don't match invisible
+// nodes, value-of/copy-of see effective (possibly RESTRICTED) labels, and
+// pruned subtrees simply don't exist. That is precisely a security
+// processor: one pass, no materialized intermediate view.
+//
+// Supported instructions: xsl:template (match/priority), xsl:apply-templates
+// (select), xsl:value-of (select), xsl:for-each (select), xsl:if (test),
+// xsl:choose/when/otherwise, xsl:copy-of (select), xsl:element (name),
+// xsl:attribute (name), xsl:text, literal result elements, and attribute
+// value templates ({expr}) in literal attributes. Omitted: modes, named
+// templates/call-template, keys, imports, number formatting.
+package xslt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+// XSLNamespace is the XSLT 1.0 namespace.
+const XSLNamespace = "http://www.w3.org/1999/XSL/Transform"
+
+// Stylesheet is a parsed, reusable stylesheet.
+type Stylesheet struct {
+	templates []*template
+}
+
+// template is one xsl:template rule.
+type template struct {
+	matchSrc string
+	patterns []*compiledPattern
+	priority float64
+	body     *xmltree.Node // the template element in the stylesheet tree
+}
+
+// compiledPattern anchors a match pattern for evaluation from the root.
+type compiledPattern struct {
+	src      string
+	anchored *xpath.Compiled
+}
+
+// errParse wraps stylesheet parse failures.
+var errParse = errors.New("xslt: invalid stylesheet")
+
+// ParseStylesheet reads an <xsl:stylesheet> document. The stylesheet is
+// written with the conventional xsl: prefix; the namespace declaration is
+// accepted but not required (matching the rest of the model's
+// namespace-free treatment).
+func ParseStylesheet(src string) (*Stylesheet, error) {
+	doc, err := xmltree.ParseString(src, xmltree.ParseOptions{KeepPrefixes: true})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errParse, err)
+	}
+	root := doc.RootElement()
+	rootLocal, rootIsXSL := xslLocal(root)
+	if root == nil || !rootIsXSL || (rootLocal != "stylesheet" && rootLocal != "transform") {
+		return nil, fmt.Errorf("%w: root element must be xsl:stylesheet", errParse)
+	}
+	sheet := &Stylesheet{}
+	for _, c := range root.Children() {
+		if c.Kind() != xmltree.KindElement {
+			continue
+		}
+		local, isXSL := xslLocal(c)
+		if !isXSL || local != "template" {
+			return nil, fmt.Errorf("%w: unsupported top-level element <%s>", errParse, c.Label())
+		}
+		match, ok := c.AttrValue("match")
+		if !ok || match == "" {
+			return nil, fmt.Errorf("%w: xsl:template lacks a match pattern", errParse)
+		}
+		t := &template{matchSrc: match, body: c}
+		for _, alt := range strings.Split(match, "|") {
+			alt = strings.TrimSpace(alt)
+			if alt == "" {
+				return nil, fmt.Errorf("%w: empty alternative in match %q", errParse, match)
+			}
+			cp, err := compilePattern(alt)
+			if err != nil {
+				return nil, err
+			}
+			t.patterns = append(t.patterns, cp)
+		}
+		t.priority = defaultPriority(match)
+		if p, ok := c.AttrValue("priority"); ok {
+			t.priority = xpath.String(p).Num()
+		}
+		sheet.templates = append(sheet.templates, t)
+	}
+	if len(sheet.templates) == 0 {
+		return nil, fmt.Errorf("%w: stylesheet has no templates", errParse)
+	}
+	return sheet, nil
+}
+
+// MustParseStylesheet panics on error; for tests and fixed stylesheets.
+func MustParseStylesheet(src string) *Stylesheet {
+	s, err := ParseStylesheet(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// xslLocal reports whether a node is an XSLT instruction element and
+// returns its local name. Both the resolved namespace and the bare "xsl"
+// prefix (undeclared namespace) are accepted.
+func xslLocal(n *xmltree.Node) (string, bool) {
+	if n == nil || n.Kind() != xmltree.KindElement {
+		return "", false
+	}
+	label := n.Label()
+	if rest, ok := strings.CutPrefix(label, XSLNamespace+":"); ok {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(label, "xsl:"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// literalName strips any non-XSL namespace URL from a literal result
+// element's label (literal elements in a prefix-preserving parse may carry
+// their own namespaces, which the output does not retain).
+func literalName(label string) string {
+	if i := strings.LastIndexByte(label, ':'); i >= 0 {
+		return label[i+1:]
+	}
+	return label
+}
+
+// compilePattern anchors a single (non-union) pattern: absolute patterns
+// compile as written, relative patterns match at any depth, per XSLT's
+// pattern semantics.
+func compilePattern(p string) (*compiledPattern, error) {
+	anchor := p
+	if !strings.HasPrefix(p, "/") {
+		anchor = "//" + p
+	}
+	c, err := xpath.Compile(anchor)
+	if err != nil {
+		return nil, fmt.Errorf("%w: match pattern %q: %v", errParse, p, err)
+	}
+	return &compiledPattern{src: p, anchored: c}, nil
+}
+
+// defaultPriority approximates the spec's default priorities: bare node
+// tests get low priority, structured patterns higher.
+func defaultPriority(match string) float64 {
+	switch match {
+	case "/", "*", "node()":
+		return -0.5
+	case "text()", "comment()":
+		return -0.5
+	}
+	if strings.ContainsAny(match, "/[") {
+		return 0.5
+	}
+	return 0
+}

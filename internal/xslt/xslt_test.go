@@ -1,0 +1,558 @@
+package xslt
+
+import (
+	"strings"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/qfilter"
+	"securexml/internal/subject"
+	"securexml/internal/view"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+const medXML = `<patients><franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert><service>pneumology</service><diagnosis>pneumonia</diagnosis></robert></patients>`
+
+func med(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func transform(t *testing.T, sheet, docXML string, sec *xpath.Security) string {
+	t.Helper()
+	s, err := ParseStylesheet(sheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := xmltree.ParseString(docXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.TransformString(d, nil, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIdentityish(t *testing.T) {
+	// Built-in rules alone: with one trivial template at the root, text
+	// percolates up.
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><xsl:apply-templates/></xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	want := "otolaryngologytonsillitispneumologypneumonia"
+	if strings.Join(strings.Fields(out), "") != want {
+		t.Errorf("builtin text percolation = %q", out)
+	}
+}
+
+func TestLiteralElementsAndValueOf(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <report><xsl:apply-templates select="//diagnosis"/></report>
+		  </xsl:template>
+		  <xsl:template match="diagnosis">
+		    <case><xsl:value-of select="text()"/></case>
+		  </xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	d, err := xmltree.ParseString(out, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatalf("output not well-formed: %v\n%s", err, out)
+	}
+	cases, err := xpath.Select(d, "/report/case", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 || cases[0].StringValue() != "tonsillitis" {
+		t.Errorf("cases = %d, first = %q\n%s", len(cases), cases[0].StringValue(), out)
+	}
+}
+
+func TestForEachIfChoose(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <list>
+		      <xsl:for-each select="/patients/*">
+		        <xsl:if test="service">
+		          <item severity="{string-length(diagnosis)}">
+		            <xsl:choose>
+		              <xsl:when test="diagnosis = 'pneumonia'">serious</xsl:when>
+		              <xsl:otherwise>routine</xsl:otherwise>
+		            </xsl:choose>
+		          </item>
+		        </xsl:if>
+		      </xsl:for-each>
+		    </list>
+		  </xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	d, err := xmltree.ParseString(out, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatalf("bad output: %v\n%s", err, out)
+	}
+	items, err := xpath.Select(d, "/list/item", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("%d items\n%s", len(items), out)
+	}
+	if items[0].StringValue() != "routine" || items[1].StringValue() != "serious" {
+		t.Errorf("choose results: %q, %q", items[0].StringValue(), items[1].StringValue())
+	}
+	if sev, _ := items[1].AttrValue("severity"); sev != "9" { // len("pneumonia")
+		t.Errorf("AVT severity = %q", sev)
+	}
+}
+
+func TestElementAttributeTextInstructions(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <xsl:element name="x{count(//diagnosis)}">
+		      <xsl:attribute name="kind">report</xsl:attribute>
+		      <xsl:text>fixed text</xsl:text>
+		    </xsl:element>
+		  </xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	if !strings.Contains(out, `<x2 kind="report">fixed text</x2>`) {
+		t.Errorf("constructed element wrong: %s", out)
+	}
+}
+
+func TestCopyOf(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <dump><xsl:copy-of select="/patients/franck"/></dump>
+		  </xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	d, err := xmltree.ParseString(out, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatalf("bad output: %v\n%s", err, out)
+	}
+	ns, err := xpath.Select(d, "/dump/franck/diagnosis/text()", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].Label() != "tonsillitis" {
+		t.Errorf("copy-of incomplete:\n%s", out)
+	}
+}
+
+func TestTemplatePriorities(t *testing.T) {
+	// The more specific pattern must win over the generic one.
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><r><xsl:apply-templates select="//diagnosis"/></r></xsl:template>
+		  <xsl:template match="*"><generic/></xsl:template>
+		  <xsl:template match="franck/diagnosis"><franckcase/></xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	if !strings.Contains(out, "<franckcase/>") || !strings.Contains(out, "<generic/>") {
+		t.Errorf("priorities wrong:\n%s", out)
+	}
+	// Explicit priority overrides.
+	out = transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><r><xsl:apply-templates select="//diagnosis"/></r></xsl:template>
+		  <xsl:template match="*" priority="10"><generic/></xsl:template>
+		  <xsl:template match="franck/diagnosis"><franckcase/></xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	if strings.Contains(out, "<franckcase/>") {
+		t.Errorf("explicit priority ignored:\n%s", out)
+	}
+}
+
+func TestUnionMatch(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><r><xsl:apply-templates select="/patients/*/*"/></r></xsl:template>
+		  <xsl:template match="service | diagnosis"><hit/></xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	if strings.Count(out, "<hit/>") != 4 {
+		t.Errorf("union match hits = %d, want 4\n%s", strings.Count(out, "<hit/>"), out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<notastylesheet/>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"/>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template/></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><stray/></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="//["><x/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="a||b"><x/></xsl:template></xsl:stylesheet>`,
+	}
+	for _, src := range bad {
+		if _, err := ParseStylesheet(src); err == nil {
+			t.Errorf("accepted bad stylesheet: %s", src)
+		}
+	}
+}
+
+func TestExecutionErrors(t *testing.T) {
+	cases := []string{
+		// missing select/test attributes and unsupported instruction
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:value-of/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:for-each/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:if>x</xsl:if></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:copy-of/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:unknown-thing/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><e a="{unclosed"/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><e a="stray}brace"/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:value-of select="//["/></xsl:template></xsl:stylesheet>`,
+	}
+	d := med(t)
+	for _, src := range cases {
+		s, err := ParseStylesheet(src)
+		if err != nil {
+			continue // parse-time rejection is fine too
+		}
+		if _, err := s.Transform(d, nil, nil); err == nil {
+			t.Errorf("executed bad stylesheet: %s", src)
+		}
+	}
+}
+
+func TestInfiniteRecursionGuard(t *testing.T) {
+	s := MustParseStylesheet(`
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><xsl:apply-templates select="//patients"/></xsl:template>
+		  <xsl:template match="patients"><xsl:apply-templates select="//patients"/></xsl:template>
+		</xsl:stylesheet>`)
+	if _, err := s.Transform(med(t), nil, nil); err == nil {
+		t.Error("cyclic apply-templates terminated without error")
+	}
+}
+
+func TestAVTEscapes(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><e a="{{literal}} and {count(//service)}"/></xsl:template>
+		</xsl:stylesheet>`, medXML, nil)
+	if !strings.Contains(out, `a="{literal} and 2"`) {
+		t.Errorf("AVT escapes wrong: %s", out)
+	}
+}
+
+// --- the security-processor mode ---------------------------------------------
+
+// secretarySec builds the axiom-13 secretary filter.
+func secretarySec(t *testing.T, d *xmltree.Document) *xpath.Security {
+	t.Helper()
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := p.Evaluate(d, h, "beaufort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qfilter.ForPerms(pm)
+}
+
+// robertSec builds the filter for patient robert.
+func robertSec(t *testing.T, d *xmltree.Document) *xpath.Security {
+	t.Helper()
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := p.Evaluate(d, h, "robert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qfilter.ForPerms(pm)
+}
+
+// TestSecurityProcessorFiltersTransform: the same stylesheet, run as
+// different users, produces per-user reports — diagnosis content appears
+// as RESTRICTED for the secretary and franck's data vanishes for robert.
+func TestSecurityProcessorFiltersTransform(t *testing.T) {
+	sheet := `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <report>
+		      <xsl:for-each select="/patients/*">
+		        <row patient="{name()}" dx="{diagnosis}"/>
+		      </xsl:for-each>
+		    </report>
+		  </xsl:template>
+		</xsl:stylesheet>`
+	d := med(t)
+
+	// Unfiltered (admin view).
+	full := transform(t, sheet, medXML, nil)
+	if !strings.Contains(full, `dx="tonsillitis"`) {
+		t.Errorf("full transform wrong:\n%s", full)
+	}
+
+	// Secretary: names visible, diagnoses RESTRICTED.
+	s := MustParseStylesheet(sheet)
+	secOut, err := s.TransformString(d, nil, secretarySec(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(secOut, `patient="franck"`) {
+		t.Errorf("secretary lost names:\n%s", secOut)
+	}
+	if strings.Contains(secOut, "tonsillitis") || !strings.Contains(secOut, `dx="RESTRICTED"`) {
+		t.Errorf("secretary report leaks or lacks RESTRICTED:\n%s", secOut)
+	}
+
+	// Robert: only his own row.
+	robOut, err := s.TransformString(d, nil, robertSec(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(robOut, "franck") || strings.Contains(robOut, "tonsillitis") {
+		t.Errorf("robert's report leaks franck:\n%s", robOut)
+	}
+	if !strings.Contains(robOut, `dx="pneumonia"`) {
+		t.Errorf("robert lost his own data:\n%s", robOut)
+	}
+}
+
+// TestSecureCopyOf: copy-of under the filter deep-copies the *view*.
+func TestSecureCopyOf(t *testing.T) {
+	d := med(t)
+	s := MustParseStylesheet(`
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><dump><xsl:copy-of select="/patients"/></dump></xsl:template>
+		</xsl:stylesheet>`)
+	out, err := s.TransformString(d, nil, secretarySec(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "tonsillitis") || strings.Contains(out, "pneumonia") {
+		t.Errorf("secure copy-of leaked content:\n%s", out)
+	}
+	if strings.Count(out, "RESTRICTED") != 2 {
+		t.Errorf("secure copy-of RESTRICTED count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "<service>") {
+		t.Errorf("secure copy-of lost visible structure:\n%s", out)
+	}
+}
+
+// TestSecurityProcessorMatchesViewTransform: transforming through the
+// filter equals transforming the materialized view — the §5 equivalence,
+// now for whole stylesheets.
+func TestSecurityProcessorMatchesViewTransform(t *testing.T) {
+	sheet := MustParseStylesheet(`
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <summary total="{count(/patients/*)}">
+		      <xsl:for-each select="//diagnosis"><d><xsl:value-of select="."/></d></xsl:for-each>
+		    </summary>
+		  </xsl:template>
+		</xsl:stylesheet>`)
+	d := med(t)
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range h.Users() {
+		pm, err := p.Evaluate(d, h, user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := sheet.TransformString(d, xpath.Vars{"USER": xpath.String(user)}, qfilter.ForPerms(pm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := materialize(t, d, pm)
+		onView, err := sheet.TransformString(v, xpath.Vars{"USER": xpath.String(user)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filtered != onView {
+			t.Errorf("%s: filtered transform differs from view transform:\n%s\nvs\n%s",
+				user, filtered, onView)
+		}
+	}
+}
+
+func materialize(t *testing.T, d *xmltree.Document, pm *policy.Perms) *xmltree.Document {
+	t.Helper()
+	return view.Materialize(d, pm).Doc
+}
+
+func TestCopyOfDocumentNodeAndAttributes(t *testing.T) {
+	// copy-of "/" unwraps the document node; attribute selections copy onto
+	// the current output element.
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <wrap><xsl:copy-of select="/"/></wrap>
+		  </xsl:template>
+		</xsl:stylesheet>`,
+		`<r a="1"><b c="2">t</b></r>`, nil)
+	d, err := xmltree.ParseString(out, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatalf("bad output: %v\n%s", err, out)
+	}
+	ns, err := xpath.Select(d, "/wrap/r[@a='1']/b[@c='2']/text()", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].Label() != "t" {
+		t.Errorf("document copy-of incomplete:\n%s", out)
+	}
+	// Selecting attributes directly copies them onto the current element.
+	out2 := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <wrap><xsl:copy-of select="//@*"/></wrap>
+		  </xsl:template>
+		</xsl:stylesheet>`,
+		`<r a="1"><b c="2">t</b></r>`, nil)
+	if !strings.Contains(out2, `a="1"`) || !strings.Contains(out2, `c="2"`) {
+		t.Errorf("attribute copy-of: %s", out2)
+	}
+}
+
+func TestCopyOfAtomic(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><n><xsl:copy-of select="1 + 2"/></n></xsl:template>
+		</xsl:stylesheet>`, `<r/>`, nil)
+	if !strings.Contains(out, "<n>3</n>") {
+		t.Errorf("atomic copy-of: %s", out)
+	}
+}
+
+func TestValueOfEmptyNodeSet(t *testing.T) {
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><n>[<xsl:value-of select="//missing"/>]</n></xsl:template>
+		</xsl:stylesheet>`, `<r/>`, nil)
+	if !strings.Contains(out, "<n>[]</n>") {
+		t.Errorf("empty value-of: %s", out)
+	}
+}
+
+func TestAttributeInstructionErrors(t *testing.T) {
+	// xsl:attribute at the output root (no element) fails.
+	s := MustParseStylesheet(`
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><xsl:attribute name="a">v</xsl:attribute></xsl:template>
+		</xsl:stylesheet>`)
+	if _, err := s.Transform(med(t), nil, nil); err == nil {
+		t.Error("xsl:attribute at output root accepted")
+	}
+	// Missing name attributes.
+	for _, body := range []string{
+		`<xsl:element>x</xsl:element>`,
+		`<xsl:attribute>x</xsl:attribute>`,
+	} {
+		src := `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><o>` +
+			body + `</o></xsl:template></xsl:stylesheet>`
+		s, err := ParseStylesheet(src)
+		if err != nil {
+			continue
+		}
+		if _, err := s.Transform(med(t), nil, nil); err == nil {
+			t.Errorf("accepted: %s", body)
+		}
+	}
+}
+
+func TestStylesheetWithoutNamespaceDeclaration(t *testing.T) {
+	// The bare xsl: prefix (no xmlns declaration) works too.
+	out := transform(t, `
+		<xsl:stylesheet>
+		  <xsl:template match="/"><ok><xsl:value-of select="count(//*)"/></ok></xsl:template>
+		</xsl:stylesheet>`, `<r><a/><b/></r>`, nil)
+	if !strings.Contains(out, "<ok>3</ok>") {
+		t.Errorf("prefix-only stylesheet: %s", out)
+	}
+}
+
+// squash removes all whitespace between markup for order assertions.
+func squash(s string) string { return strings.Join(strings.Fields(s), "") }
+
+func TestSort(t *testing.T) {
+	src := `<r><e k="b" n="10"/><e k="a" n="9"/><e k="c" n="100"/></r>`
+	out := transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <s><xsl:for-each select="//e"><xsl:sort select="@k"/><v><xsl:value-of select="@k"/></v></xsl:for-each></s>
+		  </xsl:template>
+		</xsl:stylesheet>`, src, nil)
+	if !strings.Contains(squash(out), "<v>a</v><v>b</v><v>c</v>") {
+		t.Errorf("text sort wrong:\n%s", out)
+	}
+	// Numeric vs lexicographic: "9" < "10" numerically, "10" < "9" textually.
+	out = transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <s><xsl:for-each select="//e"><xsl:sort select="@n" data-type="number"/><v><xsl:value-of select="@n"/></v></xsl:for-each></s>
+		  </xsl:template>
+		</xsl:stylesheet>`, src, nil)
+	if !strings.Contains(squash(out), "<v>9</v><v>10</v><v>100</v>") {
+		t.Errorf("numeric sort wrong:\n%s", out)
+	}
+	// Descending + apply-templates.
+	out = transform(t, `
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/">
+		    <s><xsl:apply-templates select="//e"><xsl:sort select="@k" order="descending"/></xsl:apply-templates></s>
+		  </xsl:template>
+		  <xsl:template match="e"><v><xsl:value-of select="@k"/></v></xsl:template>
+		</xsl:stylesheet>`, src, nil)
+	if !strings.Contains(squash(out), "<v>c</v><v>b</v><v>a</v>") {
+		t.Errorf("descending apply-templates sort wrong:\n%s", out)
+	}
+}
+
+// TestIdentityTransformEqualsView: THE theorem of the §5 security
+// processor — the classic identity stylesheet, executed through a user's
+// filter, reproduces exactly the materialized view of axioms 15–17.
+func TestIdentityTransformEqualsView(t *testing.T) {
+	identity := MustParseStylesheet(`
+		<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		  <xsl:template match="/"><xsl:apply-templates/></xsl:template>
+		  <xsl:template match="*">
+		    <xsl:copy>
+		      <xsl:apply-templates select="@*"/>
+		      <xsl:apply-templates/>
+		    </xsl:copy>
+		  </xsl:template>
+		  <xsl:template match="@*"><xsl:copy/></xsl:template>
+		  <xsl:template match="text()"><xsl:copy/></xsl:template>
+		</xsl:stylesheet>`)
+	d := med(t)
+	h := subject.PaperHierarchy()
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range h.Users() {
+		pm, err := p.Evaluate(d, h, user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := identity.TransformString(d, xpath.Vars{"USER": xpath.String(user)}, qfilter.ForPerms(pm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := view.Materialize(d, pm).Doc.XML()
+		if strings.TrimSpace(got) != strings.TrimSpace(want) {
+			t.Errorf("%s: identity-through-filter differs from the materialized view:\n%s\nvs\n%s",
+				user, got, want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package xupdate
+
+import "testing"
+
+// FuzzParseModifications checks the wire parser never panics and that every
+// accepted operation validates or is reported as invalid — never a crash.
+func FuzzParseModifications(f *testing.F) {
+	seeds := []string{
+		wireDoc,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate"/>`,
+		`<xupdate:modifications><xupdate:remove select="/a"/></xupdate:modifications>`,
+		`<xupdate:modifications><xupdate:update select="/a">v</xupdate:update></xupdate:modifications>`,
+		`<xupdate:modifications><xupdate:append select="/a"><b/></xupdate:append></xupdate:modifications>`,
+		`<wrong/>`, `<`, ``, `<xupdate:modifications>`,
+		`<xupdate:modifications><xupdate:append select="/"><xupdate:element name="x"><xupdate:attribute name="a">v</xupdate:attribute></xupdate:element></xupdate:append></xupdate:modifications>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ops, err := ParseModificationsString(src)
+		if err != nil {
+			return
+		}
+		for _, op := range ops {
+			_ = op.Validate()
+		}
+	})
+}

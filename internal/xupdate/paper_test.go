@@ -1,0 +1,156 @@
+package xupdate
+
+// Reproductions of the worked XUpdate examples of §3.4 (experiments E1–E4
+// in DESIGN.md). Each example derives the paper's new set F of node facts.
+
+import (
+	"testing"
+
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+// fact is a (kind, label) pair; the paper identifies nodes by number, which
+// maps to position in document order here.
+type fact struct {
+	kind  xmltree.Kind
+	label string
+}
+
+func factsOf(d *xmltree.Document) []fact {
+	var out []fact
+	for _, n := range d.Nodes() {
+		out = append(out, fact{n.Kind(), n.Label()})
+	}
+	return out
+}
+
+func expectFacts(t *testing.T, d *xmltree.Document, want []fact) {
+	t.Helper()
+	got := factsOf(d)
+	if len(got) != len(want) {
+		t.Fatalf("document has %d nodes, want %d:\n%s", len(got), len(want), d.Sketch())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d = (%s, %q), want (%s, %q)\n%s",
+				i, got[i].kind, got[i].label, want[i].kind, want[i].label, d.Sketch())
+		}
+	}
+}
+
+// paperDoc is the Fig. 2 document restricted to the nodes the examples use
+// (franck and robert; robert's subtree elided as in Fig. 2 is kept minimal).
+func paperDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(
+		`<patients><franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck><robert/></patients>`,
+		xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPaperRenameExample is the §3.4.1 example: xupdate:rename with
+// PATH=//service, VNEW=department yields node(n3, department) while every
+// other fact is unchanged (formulae 2 and 3).
+func TestPaperRenameExample(t *testing.T) {
+	d := paperDoc(t)
+	if _, err := Execute(d, &Op{Kind: Rename, Select: "//service", NewValue: "department"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectFacts(t, d, []fact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, "franck"},
+		{xmltree.KindElement, "department"},   // n3: renamed
+		{xmltree.KindText, "otolaryngology"},  // n4: content preserved
+		{xmltree.KindElement, "diagnosis"},    // n5
+		{xmltree.KindText, "tonsillitis"},     // n6
+		{xmltree.KindElement, "robert"},       // n7
+	})
+}
+
+// TestPaperUpdateExample is the §3.4.1 example: xupdate:update with
+// PATH=/patients/franck/diagnosis, VNEW=pharyngitis updates the child of the
+// addressed node (formulae 4 and 5): node(n6, pharyngitis).
+func TestPaperUpdateExample(t *testing.T) {
+	d := paperDoc(t)
+	if _, err := Execute(d, &Op{Kind: Update, Select: "/patients/franck/diagnosis", NewValue: "pharyngitis"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectFacts(t, d, []fact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, "franck"},
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "otolaryngology"},
+		{xmltree.KindElement, "diagnosis"},  // n5: label untouched
+		{xmltree.KindText, "pharyngitis"},   // n6: updated
+		{xmltree.KindElement, "robert"},
+	})
+}
+
+// TestPaperAppendExample is the §3.4.2 example: xupdate:append of albert's
+// record under /patients (formulae 6 and 7) plus the derived geometry facts.
+func TestPaperAppendExample(t *testing.T) {
+	d := paperDoc(t)
+	frag, err := xmltree.ParseString(
+		`<albert><service>cardiology</service><diagnosis/></albert>`,
+		xmltree.ParseOptions{Fragment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(d, &Op{Kind: Append, Select: "/patients", Content: frag}, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectFacts(t, d, []fact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, "franck"},
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "otolaryngology"},
+		{xmltree.KindElement, "diagnosis"},
+		{xmltree.KindText, "tonsillitis"},
+		{xmltree.KindElement, "robert"},
+		{xmltree.KindElement, "albert"},    // n1''
+		{xmltree.KindElement, "service"},   // n2''
+		{xmltree.KindText, "cardiology"},   // n3''
+		{xmltree.KindElement, "diagnosis"}, // n4''
+	})
+	// Derived geometry facts from the paper: preceding_sibling(n7, n1''),
+	// child(n1'', n1), child(n2'', n1''), child(n4'', n1''), child(n3'', n2'').
+	get := func(path string) *xmltree.Node {
+		ns, err := xpath.Select(d, path, nil)
+		if err != nil || len(ns) != 1 {
+			t.Fatalf("%s: %v (%d nodes)", path, err, len(ns))
+		}
+		return ns[0]
+	}
+	albert := get("/patients/albert")
+	robert := get("/patients/robert")
+	if robert.FollowingSibling() != albert {
+		t.Error("robert is not the immediately preceding sibling of albert")
+	}
+	if albert.Parent() != get("/patients") {
+		t.Error("albert not a child of patients")
+	}
+}
+
+// TestPaperRemoveExample is the §3.4.3 example: xupdate:remove of
+// /patients/franck/diagnosis deletes the subtree (formulae 8 and 9).
+func TestPaperRemoveExample(t *testing.T) {
+	d := paperDoc(t)
+	if _, err := Execute(d, &Op{Kind: Remove, Select: "/patients/franck/diagnosis"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectFacts(t, d, []fact{
+		{xmltree.KindDocument, "/"},
+		{xmltree.KindElement, "patients"},
+		{xmltree.KindElement, "franck"},
+		{xmltree.KindElement, "service"},
+		{xmltree.KindText, "otolaryngology"},
+		{xmltree.KindElement, "robert"},
+	})
+}

@@ -1,0 +1,427 @@
+package xupdate
+
+import (
+	"strings"
+	"testing"
+
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+const src = `<patients>
+  <franck>
+    <service>otolaryngology</service>
+    <diagnosis>tonsillitis</diagnosis>
+  </franck>
+  <robert>
+    <service>pneumology</service>
+    <diagnosis>pneumonia</diagnosis>
+  </robert>
+</patients>`
+
+func parse(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(src, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func firstText(t *testing.T, d *xmltree.Document, path string) string {
+	t.Helper()
+	ns, err := xpath.Select(d, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) == 0 {
+		return ""
+	}
+	return ns[0].StringValue()
+}
+
+func count(t *testing.T, d *xmltree.Document, path string) int {
+	t.Helper()
+	ns, err := xpath.Select(d, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ns)
+}
+
+func TestRenameAllMatches(t *testing.T) {
+	d := parse(t)
+	res, err := Execute(d, &Op{Kind: Rename, Select: "//service", NewValue: "department"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 2 || res.Applied != 2 {
+		t.Errorf("result = %+v, want 2 selected and applied", res)
+	}
+	if got := count(t, d, "//department"); got != 2 {
+		t.Errorf("%d department elements, want 2", got)
+	}
+	if got := count(t, d, "//service"); got != 0 {
+		t.Errorf("%d service elements remain", got)
+	}
+	// Content is untouched.
+	if got := firstText(t, d, "/patients/franck/department"); got != "otolaryngology" {
+		t.Errorf("franck department = %q", got)
+	}
+}
+
+func TestUpdateReplacesChildren(t *testing.T) {
+	d := parse(t)
+	res, err := Execute(d, &Op{Kind: Update, Select: "/patients/franck/diagnosis", NewValue: "pharyngitis"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Errorf("applied = %d, want 1", res.Applied)
+	}
+	if got := firstText(t, d, "/patients/franck/diagnosis"); got != "pharyngitis" {
+		t.Errorf("diagnosis = %q, want pharyngitis", got)
+	}
+	// Robert's diagnosis unchanged.
+	if got := firstText(t, d, "/patients/robert/diagnosis"); got != "pneumonia" {
+		t.Errorf("robert diagnosis = %q", got)
+	}
+}
+
+func TestUpdateEmptyElementCreatesText(t *testing.T) {
+	d, err := xmltree.ParseString("<r><empty/></r>", xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(d, &Op{Kind: Update, Select: "/r/empty", NewValue: "filled"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Created != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if got := firstText(t, d, "/r/empty"); got != "filled" {
+		t.Errorf("empty element content = %q", got)
+	}
+}
+
+func TestUpdateAttributeValue(t *testing.T) {
+	d, err := xmltree.ParseString(`<r><e id="old"/></r>`, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(d, &Op{Kind: Update, Select: "/r/e/@id", NewValue: "new"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := xpath.Select(d, "/r/e[@id='new']", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 {
+		t.Error("attribute value not updated")
+	}
+}
+
+func TestAppendTree(t *testing.T) {
+	d := parse(t)
+	frag, err := xmltree.ParseString("<albert><service>cardiology</service><diagnosis/></albert>",
+		xmltree.ParseOptions{Fragment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(d, &Op{Kind: Append, Select: "/patients", Content: frag}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Created != 4 {
+		t.Errorf("result = %+v, want 1 applied, 4 created", res)
+	}
+	kids, err := xpath.Select(d, "/patients/*", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 3 || kids[2].Label() != "albert" {
+		t.Errorf("patients children after append: %d, last = %s", len(kids), kids[len(kids)-1].Label())
+	}
+	if got := firstText(t, d, "/patients/albert/service"); got != "cardiology" {
+		t.Errorf("albert service = %q", got)
+	}
+}
+
+func TestAppendToSeveralTargets(t *testing.T) {
+	d := parse(t)
+	frag, _ := xmltree.ParseString("<note>seen</note>", xmltree.ParseOptions{Fragment: true})
+	res, err := Execute(d, &Op{Kind: Append, Select: "/patients/*", Content: frag}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axiom 7: the tree is inserted at as many places as nodes addressed.
+	if res.Applied != 2 || res.Created != 4 {
+		t.Errorf("result = %+v, want 2 applied, 4 created", res)
+	}
+	if got := count(t, d, "//note"); got != 2 {
+		t.Errorf("%d note elements, want 2", got)
+	}
+}
+
+func TestInsertBeforeAfterOrder(t *testing.T) {
+	d := parse(t)
+	fragB, _ := xmltree.ParseString("<first/><second/>", xmltree.ParseOptions{Fragment: true})
+	if _, err := Execute(d, &Op{Kind: InsertBefore, Select: "/patients/franck", Content: fragB}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fragA, _ := xmltree.ParseString("<third/><fourth/>", xmltree.ParseOptions{Fragment: true})
+	if _, err := Execute(d, &Op{Kind: InsertAfter, Select: "/patients/robert", Content: fragA}, nil); err != nil {
+		t.Fatal(err)
+	}
+	kids, err := xpath.Select(d, "/patients/*", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "franck", "robert", "third", "fourth"}
+	if len(kids) != len(want) {
+		t.Fatalf("children: %d, want %d", len(kids), len(want))
+	}
+	for i, k := range kids {
+		if k.Label() != want[i] {
+			got := make([]string, len(kids))
+			for j, kk := range kids {
+				got[j] = kk.Label()
+			}
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertAfterMiddleSibling(t *testing.T) {
+	d := parse(t)
+	frag, _ := xmltree.ParseString("<middle/>", xmltree.ParseOptions{Fragment: true})
+	if _, err := Execute(d, &Op{Kind: InsertAfter, Select: "/patients/franck", Content: frag}, nil); err != nil {
+		t.Fatal(err)
+	}
+	kids, _ := xpath.Select(d, "/patients/*", nil)
+	if kids[1].Label() != "middle" || kids[2].Label() != "robert" {
+		t.Error("insert-after did not land between franck and robert")
+	}
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	d := parse(t)
+	res, err := Execute(d, &Op{Kind: Remove, Select: "/patients/franck/diagnosis"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Removed != 2 { // diagnosis element + its text
+		t.Errorf("result = %+v, want 1 applied, 2 removed", res)
+	}
+	if got := count(t, d, "/patients/franck/diagnosis"); got != 0 {
+		t.Error("diagnosis still present")
+	}
+	if got := count(t, d, "/patients/robert/diagnosis"); got != 1 {
+		t.Error("robert's diagnosis was removed too")
+	}
+}
+
+func TestRemoveNestedSelection(t *testing.T) {
+	// Selecting both an ancestor and its descendant must not double-remove.
+	d := parse(t)
+	res, err := Execute(d, &Op{Kind: Remove, Select: "/patients/franck | /patients/franck/diagnosis"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 2 || res.Applied != 1 || len(res.Skipped) != 1 {
+		t.Errorf("result = %+v, want 1 applied 1 skipped of 2 selected", res)
+	}
+	if got := count(t, d, "/patients/*"); got != 1 {
+		t.Errorf("%d patients remain, want 1", got)
+	}
+}
+
+func TestExecuteEmptySelection(t *testing.T) {
+	d := parse(t)
+	res, err := Execute(d, &Op{Kind: Remove, Select: "//nothing"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 0 || res.Applied != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestExecuteWithVariables(t *testing.T) {
+	d := parse(t)
+	vars := xpath.Vars{"USER": xpath.String("franck")}
+	res, err := Execute(d, &Op{Kind: Remove, Select: "/patients/*[name() = $USER]"}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Errorf("applied = %d", res.Applied)
+	}
+	if got := count(t, d, "/patients/franck"); got != 0 {
+		t.Error("franck not removed")
+	}
+}
+
+func TestValidateRejectsBadOps(t *testing.T) {
+	frag, _ := xmltree.ParseString("<x/>", xmltree.ParseOptions{Fragment: true})
+	cases := []*Op{
+		{Kind: Update, Select: ""},
+		{Kind: Update, Select: "//["},
+		{Kind: Update, Select: "//a", Content: frag},
+		{Kind: Rename, Select: "//a", Content: frag},
+		{Kind: Append, Select: "//a"},
+		{Kind: InsertBefore, Select: "//a"},
+		{Kind: InsertAfter, Select: "//a", Content: xmltree.NewFragment(nil)},
+		{Kind: Remove, Select: "//a", NewValue: "x"},
+		{Kind: Kind(42), Select: "//a"},
+	}
+	for i, op := range cases {
+		if err := op.Validate(); err == nil {
+			t.Errorf("case %d (%s): expected validation error", i, op.Kind)
+		}
+	}
+}
+
+func TestRenameDocumentNodeSkipped(t *testing.T) {
+	d := parse(t)
+	res, err := Execute(d, &Op{Kind: Rename, Select: "/", NewValue: "x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 || len(res.Skipped) != 1 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Update: "xupdate:update", Rename: "xupdate:rename", Append: "xupdate:append",
+		InsertBefore: "xupdate:insert-before", InsertAfter: "xupdate:insert-after",
+		Remove: "xupdate:remove",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}
+
+// --- wire format --------------------------------------------------------------
+
+const wireDoc = `<?xml version="1.0"?>
+<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:rename select="//service">department</xupdate:rename>
+  <xupdate:update select="/patients/franck/diagnosis">pharyngitis</xupdate:update>
+  <xupdate:append select="/patients">
+    <xupdate:element name="albert">
+      <xupdate:attribute name="insured">yes</xupdate:attribute>
+      <service>cardiology</service>
+      <xupdate:element name="diagnosis"><xupdate:text>angina</xupdate:text></xupdate:element>
+    </xupdate:element>
+  </xupdate:append>
+  <xupdate:insert-before select="/patients/franck"><zoe/></xupdate:insert-before>
+  <xupdate:insert-after select="/patients/robert"><yann/></xupdate:insert-after>
+  <xupdate:remove select="/patients/robert/diagnosis"/>
+</xupdate:modifications>`
+
+func TestParseModifications(t *testing.T) {
+	ops, err := ParseModificationsString(wireDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 6 {
+		t.Fatalf("%d operations, want 6", len(ops))
+	}
+	wantKinds := []Kind{Rename, Update, Append, InsertBefore, InsertAfter, Remove}
+	for i, op := range ops {
+		if op.Kind != wantKinds[i] {
+			t.Errorf("op %d kind = %s, want %s", i, op.Kind, wantKinds[i])
+		}
+		if err := op.Validate(); err != nil {
+			t.Errorf("op %d invalid: %v", i, err)
+		}
+	}
+	if ops[0].NewValue != "department" || ops[1].NewValue != "pharyngitis" {
+		t.Errorf("text params: %q, %q", ops[0].NewValue, ops[1].NewValue)
+	}
+	albert := ops[2].Content.Root().Children()[0]
+	if albert.Label() != "albert" {
+		t.Fatalf("append content root = %q", albert.Label())
+	}
+	if v, ok := albert.AttrValue("insured"); !ok || v != "yes" {
+		t.Errorf("xupdate:attribute constructor: %q, %v", v, ok)
+	}
+	if len(albert.Children()) != 2 {
+		t.Errorf("albert content children = %d, want 2", len(albert.Children()))
+	}
+	if albert.Children()[1].StringValue() != "angina" {
+		t.Errorf("nested element/text constructors: %q", albert.Children()[1].StringValue())
+	}
+}
+
+func TestParseAndExecuteWireDoc(t *testing.T) {
+	d := parse(t)
+	ops, err := ParseModificationsString(wireDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if _, err := Execute(d, op, nil); err != nil {
+			t.Fatalf("executing op %d (%s): %v", i, op.Kind, err)
+		}
+	}
+	if got := count(t, d, "//department"); got != 2 {
+		t.Errorf("departments = %d", got)
+	}
+	if got := firstText(t, d, "/patients/franck/diagnosis"); got != "pharyngitis" {
+		t.Errorf("franck diagnosis = %q", got)
+	}
+	kids, _ := xpath.Select(d, "/patients/*", nil)
+	want := []string{"zoe", "franck", "robert", "yann", "albert"}
+	if len(kids) != len(want) {
+		t.Fatalf("%d children, want %d", len(kids), len(want))
+	}
+	for i := range want {
+		if kids[i].Label() != want[i] {
+			t.Fatalf("child %d = %q, want %q", i, kids[i].Label(), want[i])
+		}
+	}
+	if got := count(t, d, "/patients/robert/diagnosis"); got != 0 {
+		t.Error("robert's diagnosis not removed")
+	}
+}
+
+func TestParseModificationsErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<wrong/>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate"><xupdate:nonsense select="/x"/></xupdate:modifications>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate"><xupdate:remove/></xupdate:modifications>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate"><literal select="/x"/></xupdate:modifications>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">stray text</xupdate:modifications>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate"><xupdate:update select="/x"><child/></xupdate:update></xupdate:modifications>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate"><xupdate:append select="/x"><xupdate:element/></xupdate:append></xupdate:modifications>`,
+		`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">`,
+	}
+	for _, src := range bad {
+		if _, err := ParseModificationsString(src); err == nil {
+			t.Errorf("ParseModifications(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseModificationsPrefixWithoutNamespace(t *testing.T) {
+	// Documents omitting the xmlns declaration still parse.
+	src := `<xupdate:modifications><xupdate:remove select="/x"/></xupdate:modifications>`
+	ops, err := ParseModificationsString(src)
+	if err != nil {
+		t.Fatalf("prefix-only parse: %v", err)
+	}
+	if len(ops) != 1 || ops[0].Kind != Remove {
+		t.Errorf("ops = %v", ops)
+	}
+}
