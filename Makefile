@@ -1,0 +1,31 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all verify lint race fuzz
+
+all: verify lint
+
+# Tier-1 gate: everything builds, every test passes.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Static hygiene: vet, formatting, and the policy analyzer's self-check on
+# the paper's 12-rule policy (must report zero findings and exit 0).
+lint:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) run ./cmd/xmlsec-lint -paper
+
+# Concurrency gate: the full suite under the race detector, including the
+# core concurrent-session stress test.
+race:
+	$(GO) test -race ./...
+
+# Bounded fuzzing of the three parser targets from their seed corpora.
+fuzz:
+	$(GO) test ./internal/xpath -fuzz FuzzCompile -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/xupdate -fuzz FuzzParseModifications -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/datalog -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$'

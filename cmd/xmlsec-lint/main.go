@@ -1,0 +1,93 @@
+// Command xmlsec-lint statically analyzes a security policy — without any
+// document — and reports dead rules, accept/deny reopenings, write grants
+// that can never be exercised, and covert-channel hazards (§2.2). It is
+// the CI gate for policy changes: exit codes reflect the worst finding.
+//
+// Usage:
+//
+//	xmlsec-lint [-json] <snapshot-file>   analyze a snapshot written by save/Save
+//	xmlsec-lint [-json] -paper            analyze the paper's 12-rule policy
+//
+// Exit codes: 0 no findings, 1 warnings only, 2 errors, 3 usage or load
+// failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"securexml/internal/policy"
+	"securexml/internal/policyanalysis"
+	"securexml/internal/storage"
+	"securexml/internal/subject"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmlsec-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	paper := fs.Bool("paper", false, "analyze the paper's 12-rule policy instead of a snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+
+	var rep *policyanalysis.Report
+	switch {
+	case *paper:
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "xmlsec-lint: -paper takes no snapshot argument")
+			return 3
+		}
+		h := subject.PaperHierarchy()
+		pol, err := policy.PaperPolicy(h)
+		if err != nil {
+			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+			return 3
+		}
+		rep = policyanalysis.Analyze(h, pol)
+	case fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+			return 3
+		}
+		snap, err := storage.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+			return 3
+		}
+		rep = policyanalysis.AnalyzeRules(snap.Subjects, snap.Rules)
+	default:
+		fmt.Fprintln(stderr, "usage: xmlsec-lint [-json] <snapshot-file> | xmlsec-lint [-json] -paper")
+		return 3
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+			return 3
+		}
+	} else {
+		io.WriteString(stdout, rep.Text())
+	}
+
+	switch {
+	case rep.HasErrors():
+		return 2
+	case rep.HasWarnings():
+		return 1
+	default:
+		return 0
+	}
+}

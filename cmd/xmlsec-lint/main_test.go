@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securexml/internal/core"
+	"securexml/internal/policy"
+)
+
+func TestPaperPolicyExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-paper"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "no findings") {
+		t.Errorf("stdout: %q", out.String())
+	}
+}
+
+// snapshotWith writes a database snapshot seeded with the paper policy plus
+// extra rules, and returns its path.
+func snapshotWith(t *testing.T, extra ...policy.Rule) string {
+	t.Helper()
+	db := core.New()
+	if err := db.LoadXMLString("<patients/>"); err != nil {
+		t.Fatal(err)
+	}
+	seedPaperSubjectsAndRules(t, db)
+	for _, r := range extra {
+		if err := db.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "db.snapshot")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func seedPaperSubjectsAndRules(t *testing.T, db *core.Database) {
+	t.Helper()
+	for _, role := range [][]string{{"staff"}, {"secretary", "staff"}, {"doctor", "staff"}, {"epidemiologist", "staff"}, {"patient"}} {
+		if err := db.AddRole(role[0], role[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range [][2]string{
+		{"beaufort", "secretary"}, {"laporte", "doctor"}, {"richard", "epidemiologist"},
+		{"robert", "patient"}, {"franck", "patient"},
+	} {
+		if err := db.AddUser(u[0], u[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := db.Hierarchy()
+	pol, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pol.Rules() {
+		if err := db.AddRule(*r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCleanSnapshotExitsZero(t *testing.T) {
+	path := snapshotWith(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errOut.String(), out.String())
+	}
+}
+
+func TestBrokenSnapshotWarnsAndExitsOne(t *testing.T) {
+	path := snapshotWith(t, policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read,
+		Path: "//diagnosis/node()", Subject: "secretary", Priority: 22,
+	})
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errOut.String(), out.String())
+	}
+	var rep struct {
+		Findings []struct {
+			Code     string `json:"code"`
+			Priority int64  `json:"priority"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON output: %v\n%s", err, out.String())
+	}
+	codes := map[string]bool{}
+	for _, f := range rep.Findings {
+		codes[f.Code] = true
+	}
+	if !codes["dead-rule"] || !codes["conflict-overlap"] {
+		t.Errorf("findings: %+v", rep.Findings)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 3 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code := run([]string{"/nonexistent/snapshot"}, &out, &errOut); code != 3 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if code := run([]string{"-paper", "extra"}, &out, &errOut); code != 3 {
+		t.Errorf("-paper with arg: exit %d", code)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"securexml/internal/policy"
+	"securexml/internal/policyanalysis"
 	"securexml/internal/subject"
 	"securexml/internal/xmltree"
 	"securexml/internal/xpath"
@@ -278,4 +279,32 @@ func (a *Authority) GuardedAdd(doc *xmltree.Document, h *subject.Hierarchy, pol 
 		return fmt.Errorf("%w: %s cannot issue %s", ErrNotAuthorized, issuer, r.String())
 	}
 	return pol.Add(h, r)
+}
+
+// GuardedAddChecked is GuardedAdd followed by a static analysis of the
+// resulting policy: it returns the analyzer findings that involve the
+// newly issued rule (anchored on it or listing it as related), so the
+// issuing tool can warn — at grant time — about rules that are born dead,
+// reopen earlier denies, or can never be exercised. The rule is added
+// regardless: findings are advice, not vetoes (the dynamic semantics stay
+// authoritative).
+func (a *Authority) GuardedAddChecked(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, issuer string, r policy.Rule) ([]policyanalysis.Finding, error) {
+	if err := a.GuardedAdd(doc, h, pol, issuer, r); err != nil {
+		return nil, err
+	}
+	rep := policyanalysis.Analyze(h, pol)
+	var involved []policyanalysis.Finding
+	for _, f := range rep.Findings {
+		if f.Priority == r.Priority {
+			involved = append(involved, f)
+			continue
+		}
+		for _, p := range f.Related {
+			if p == r.Priority {
+				involved = append(involved, f)
+				break
+			}
+		}
+	}
+	return involved, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"securexml/internal/policy"
+	"securexml/internal/policyanalysis"
 	"securexml/internal/subject"
 	"securexml/internal/xmltree"
 )
@@ -65,11 +66,11 @@ func TestDelegationScopeContainment(t *testing.T) {
 		path string
 		want bool
 	}{
-		{"/patients/franck/diagnosis", true},           // inside scope
+		{"/patients/franck/diagnosis", true},                  // inside scope
 		{"/patients/franck/descendant-or-self::node()", true}, // the whole scope
-		{"/patients/robert/diagnosis", false},          // outside
-		{"//diagnosis", false},                         // straddles the boundary
-		{"//nosuchthing", true},                        // empty set ⊆ anything
+		{"/patients/robert/diagnosis", false},                 // outside
+		{"//diagnosis", false},                                // straddles the boundary
+		{"//nosuchthing", true},                               // empty set ⊆ anything
 	}
 	for _, tc := range cases {
 		ok, err := a.CanIssue(d, h, "laporte", policy.Read, tc.path)
@@ -257,5 +258,47 @@ func TestDelegateValidation(t *testing.T) {
 	}
 	if s := d2.String(); s == "" {
 		t.Error("empty String")
+	}
+}
+
+func TestGuardedAddChecked(t *testing.T) {
+	d, h, a := env(t)
+	pol, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A benign rule: no findings involve it.
+	findings, err := a.GuardedAddChecked(d, h, pol, "dba", policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read, Path: "//service", Subject: "doctor", Priority: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("benign rule produced findings: %+v", findings)
+	}
+	// A rule that shadows and reopens the secretary deny: the issuance
+	// succeeds but returns the warnings.
+	findings, err = a.GuardedAddChecked(d, h, pol, "dba", policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read, Path: "//diagnosis/node()", Subject: "secretary", Priority: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := map[string]bool{}
+	for _, f := range findings {
+		codes[f.Code] = true
+	}
+	if !codes[policyanalysis.CodeConflictOverlap] || !codes[policyanalysis.CodeDeadRule] {
+		t.Errorf("expected conflict-overlap and dead-rule involvement, got %+v", findings)
+	}
+	if pol.Len() != 14 {
+		t.Errorf("rules = %d, want 14 (findings must not veto)", pol.Len())
+	}
+	// Authority failures surface as errors, without analysis.
+	if _, err := a.GuardedAddChecked(d, h, pol, "laporte", policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read, Path: "//x", Subject: "doctor", Priority: 32,
+	}); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("unauthorized issuer: %v", err)
 	}
 }

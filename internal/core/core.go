@@ -23,6 +23,7 @@ import (
 	"securexml/internal/journal"
 	"securexml/internal/labeling"
 	"securexml/internal/policy"
+	"securexml/internal/policyanalysis"
 	"securexml/internal/qfilter"
 	"securexml/internal/storage"
 	"securexml/internal/subject"
@@ -242,6 +243,15 @@ func (db *Database) Hierarchy() *subject.Hierarchy {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.subjects.Clone()
+}
+
+// AnalyzePolicy runs the static policy analyzer (internal/policyanalysis)
+// over the current policy and subject hierarchy. The analysis needs no
+// document, so it is safe at any point of the administration workflow.
+func (db *Database) AnalyzePolicy() *policyanalysis.Report {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return policyanalysis.Analyze(db.subjects, db.policy)
 }
 
 // SourceXML serializes the raw source document — administrator use only;

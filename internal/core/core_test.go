@@ -8,6 +8,7 @@ import (
 
 	"securexml/internal/labeling"
 	"securexml/internal/policy"
+	"securexml/internal/policyanalysis"
 	"securexml/internal/xmltree"
 	"securexml/internal/xupdate"
 )
@@ -671,5 +672,28 @@ func TestSessionTransform(t *testing.T) {
 	}
 	if !found {
 		t.Error("transform not audited")
+	}
+}
+
+func TestAnalyzePolicy(t *testing.T) {
+	db := hospital(t)
+	rep := db.AnalyzePolicy()
+	if rep.Rules != 12 || len(rep.Findings) != 0 {
+		t.Fatalf("paper database must analyze clean, got rules=%d:\n%s", rep.Rules, rep.Text())
+	}
+	// Granting secretary update where it holds position without read is the
+	// §2.2 covert-channel interplay; the analyzer must surface it.
+	if err := db.Grant(policy.Update, "//diagnosis/node()", "secretary"); err != nil {
+		t.Fatal(err)
+	}
+	rep = db.AnalyzePolicy()
+	found := false
+	for _, f := range rep.Findings {
+		if f.Code == policyanalysis.CodeCovertChannel {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("covert-channel hazard not reported:\n%s", rep.Text())
 	}
 }

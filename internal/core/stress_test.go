@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// TestConcurrentSessionStress exercises the full concurrency claim of the
+// package doc under -race: parallel readers (shared sessions), writers,
+// and a policy administrator mutating subjects and rules — plus the
+// analyzer and snapshot writer, which read everything — all on one
+// Database. The assertions are weak on purpose (no operation may error);
+// the value of the test is the interleaving itself.
+func TestConcurrentSessionStress(t *testing.T) {
+	db := hospital(t)
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	fail := func(err error) {
+		if err != nil {
+			errs <- err
+		}
+	}
+
+	// Readers: two goroutines share one session to stress the view cache.
+	shared := session(t, db, "laporte")
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := shared.Query("//diagnosis"); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := shared.ViewXML(); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := shared.QueryValue("count(//service)"); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	for _, user := range []string{"beaufort", "richard", "robert"} {
+		user := user
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := db.Session(user)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := s.Query("/patients/*"); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers: a doctor rewriting diagnoses, a secretary appending patients.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := db.Session("laporte")
+		if err != nil {
+			fail(err)
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := s.Update(&xupdate.Op{Kind: xupdate.Update, Select: "//diagnosis", NewValue: fmt.Sprintf("v%d", i)}); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := db.Session("beaufort")
+		if err != nil {
+			fail(err)
+			return
+		}
+		for i := 0; i < iters; i++ {
+			frag, err := xmltree.ParseString(fmt.Sprintf("<p%d/>", i), xmltree.ParseOptions{Fragment: true})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if _, err := s.Update(&xupdate.Op{Kind: xupdate.Append, Select: "/patients", Content: frag}); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	// Administrator: rules, subjects, analysis, stats, audit, snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := db.Grant(policy.Read, "//service", "staff"); err != nil {
+				fail(err)
+				return
+			}
+			if err := db.Revoke(policy.Read, "//note", "secretary"); err != nil {
+				fail(err)
+				return
+			}
+			if err := db.AddUser(fmt.Sprintf("stress%d", i), "doctor"); err != nil {
+				fail(err)
+				return
+			}
+			if rep := db.AnalyzePolicy(); rep.Rules == 0 {
+				fail(fmt.Errorf("analyzer saw an empty policy"))
+				return
+			}
+			db.Stats()
+			db.Audit()
+			if err := db.Save(io.Discard); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

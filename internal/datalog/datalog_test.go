@@ -126,9 +126,9 @@ func TestBuiltins(t *testing.T) {
 
 func TestBuiltinTable(t *testing.T) {
 	cases := []struct {
-		pred    string
-		a, b    string
-		want    bool
+		pred string
+		a, b string
+		want bool
 	}{
 		{"gt", "2", "1", true}, {"gt", "1", "2", false}, {"gt", "b", "a", true},
 		{"lt", "1", "2", true}, {"lt", "10", "9", false}, // numeric, not lexicographic
@@ -278,11 +278,11 @@ func TestParseEscapes(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		`p(X).`,          // fact with variable
-		`p(a) :- .`,      // empty body
-		`p(a)`,           // missing period
-		`p(a :- q(a).`,   // bad arg list
-		`:- q(a).`,       // missing head
+		`p(X).`,        // fact with variable
+		`p(a) :- .`,    // empty body
+		`p(a)`,         // missing period
+		`p(a :- q(a).`, // bad arg list
+		`:- q(a).`,     // missing head
 		`p("unterminated).`,
 		`p(a) :- q(a) r(a).`, // missing comma
 		`p(X) :- not q(X).`,  // unsafe

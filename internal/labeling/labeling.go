@@ -121,7 +121,7 @@ func (l Label) Parent() (parent Label, ok bool) {
 	if len(l) == 0 {
 		return nil, false
 	}
-	return l[:len(l)-1:len(l)-1], true
+	return l[: len(l)-1 : len(l)-1], true
 }
 
 // Key returns the node's own sibling key (the last component). ok is false

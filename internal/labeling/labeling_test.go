@@ -126,10 +126,10 @@ func TestHoldsRelations(t *testing.T) {
 		{RelFollowingSibling, b, a, true},
 		{RelFollowingSibling, a, b, false},
 		{RelPrecedingSibling, a, b, true},
-		{RelFollowing, b, aa, true},   // b after aa, not a descendant of aa
-		{RelFollowing, aa, a, false},  // aa is a descendant of a
-		{RelPreceding, aa, b, true},   // aa before b, not an ancestor of b
-		{RelPreceding, a, aa, false},  // a is an ancestor of aa
+		{RelFollowing, b, aa, true},  // b after aa, not a descendant of aa
+		{RelFollowing, aa, a, false}, // aa is a descendant of a
+		{RelPreceding, aa, b, true},  // aa before b, not an ancestor of b
+		{RelPreceding, a, aa, false}, // a is an ancestor of aa
 		{RelPreceding, root, b, false} /* ancestor */, {Relation(99), a, b, false},
 	}
 	for _, tc := range tests {

@@ -293,8 +293,8 @@ func randomPolicy(t *testing.T, rng *rand.Rand, h *subject.Hierarchy) *policy.Po
 		priv := policy.Privileges[rng.Intn(len(policy.Privileges))]
 		err := p.Add(h, policy.Rule{
 			Effect: eff, Privilege: priv,
-			Path:    paths[rng.Intn(len(paths))],
-			Subject: subjects[rng.Intn(len(subjects))],
+			Path:     paths[rng.Intn(len(paths))],
+			Subject:  subjects[rng.Intn(len(subjects))],
 			Priority: int64(i + 1),
 		})
 		if err != nil {

@@ -1,0 +1,476 @@
+package policyanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xpath"
+)
+
+// Severity ranks findings. Errors are policies that cannot mean what they
+// say (unparseable paths, unknown subjects); warnings are rules that are
+// provably inert or that weaken the policy in ways the paper's dynamic
+// semantics silently tolerates.
+type Severity int
+
+// Severities in ascending order.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String renders the severity lowercase, as used in text and JSON output.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Finding codes. Stable: CI configurations and tests match on them.
+const (
+	CodeBadPath            = "bad-path"            // rule path does not compile
+	CodeUnreachableSubject = "unreachable-subject" // rule subject absent from hierarchy
+	CodeEmptyPattern       = "empty-pattern"       // path can never select a node
+	CodeDeadRule           = "dead-rule"           // shadowed for every user in scope
+	CodeConflictOverlap    = "conflict-overlap"    // accept reopens an earlier deny (axiom 14)
+	CodeInsertInvisible    = "write-insert-invisible"
+	CodeUnselectableTarget = "write-unselectable-target"
+	CodeCovertChannel      = "covert-channel-hazard"
+)
+
+// Finding is one analyzer result, anchored on a rule by its priority
+// (priorities are unique within a policy).
+type Finding struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Rule     string   `json:"rule"`
+	Priority int64    `json:"priority"`
+	Message  string   `json:"message"`
+	// Related lists priorities of other rules involved (shadowers, the
+	// reopened deny, the winning read label).
+	Related []int64 `json:"related,omitempty"`
+	// Subjects lists the users or roles the finding applies to.
+	Subjects []string `json:"subjects,omitempty"`
+}
+
+// Report is the full analysis result.
+type Report struct {
+	Rules    int       `json:"rules"`
+	Findings []Finding `json:"findings"`
+}
+
+// Max returns the highest severity present, or Info for a clean report.
+func (rep *Report) Max() Severity {
+	max := Info
+	for _, f := range rep.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// HasErrors reports whether any finding is an Error.
+func (rep *Report) HasErrors() bool { return rep.Max() >= Error }
+
+// HasWarnings reports whether any finding is Warning or worse.
+func (rep *Report) HasWarnings() bool { return rep.Max() >= Warning }
+
+// Text renders the report for terminals.
+func (rep *Report) Text() string {
+	var b strings.Builder
+	if len(rep.Findings) == 0 {
+		fmt.Fprintf(&b, "%d rules analyzed: no findings\n", rep.Rules)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d rules analyzed: %d finding(s)\n", rep.Rules, len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Fprintf(&b, "%-7s %s rule@%d: %s", f.Severity, f.Code, f.Priority, f.Message)
+		if len(f.Related) > 0 {
+			parts := make([]string, len(f.Related))
+			for i, p := range f.Related {
+				parts[i] = fmt.Sprintf("@%d", p)
+			}
+			fmt.Fprintf(&b, " (related: %s)", strings.Join(parts, ", "))
+		}
+		if len(f.Subjects) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(f.Subjects, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ruleInfo is the per-rule working state of one analysis.
+type ruleInfo struct {
+	rule  policy.Rule
+	pat   *xpath.Pattern
+	users []string // users in the rule's isa-closure scope, sorted
+	empty bool     // pattern provably selects nothing
+}
+
+// Analyze runs every pass over a live policy.
+func Analyze(h *subject.Hierarchy, pol *policy.Policy) *Report {
+	rules := make([]policy.Rule, 0, pol.Len())
+	for _, r := range pol.Rules() {
+		rules = append(rules, *r)
+	}
+	return AnalyzeRules(h, rules)
+}
+
+// AnalyzeRules runs every pass over raw rules (as loaded from a snapshot,
+// which need not have passed policy.Add validation).
+func AnalyzeRules(h *subject.Hierarchy, rules []policy.Rule) *Report {
+	rep := &Report{Rules: len(rules), Findings: []Finding{}}
+	infos := make([]*ruleInfo, 0, len(rules))
+	for _, r := range rules {
+		c, err := xpath.Compile(r.Path)
+		if err != nil {
+			rep.add(Finding{
+				Code: CodeBadPath, Severity: Error, Rule: r.String(), Priority: r.Priority,
+				Message: fmt.Sprintf("path %q does not compile: %v", r.Path, err),
+			})
+			continue
+		}
+		if !h.Exists(r.Subject) {
+			rep.add(Finding{
+				Code: CodeUnreachableSubject, Severity: Error, Rule: r.String(), Priority: r.Priority,
+				Message: fmt.Sprintf("subject %q is not in the hierarchy", r.Subject),
+			})
+			continue
+		}
+		ri := &ruleInfo{rule: r, pat: c.Pattern(), users: usersInScope(h, r.Subject)}
+		ri.empty = !satisfiable(ri.pat)
+		if ri.empty {
+			rep.add(Finding{
+				Code: CodeEmptyPattern, Severity: Warning, Rule: r.String(), Priority: r.Priority,
+				Message: fmt.Sprintf("path %q can never select a node", r.Path),
+			})
+		}
+		infos = append(infos, ri)
+	}
+	deadRulePass(rep, infos)
+	conflictOverlapPass(rep, infos)
+	writeInsertPass(rep, infos)
+	writeTargetPass(rep, infos)
+	covertChannelPass(rep, infos)
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Priority != rep.Findings[j].Priority {
+			return rep.Findings[i].Priority < rep.Findings[j].Priority
+		}
+		return rep.Findings[i].Code < rep.Findings[j].Code
+	})
+	return rep
+}
+
+func (rep *Report) add(f Finding) { rep.Findings = append(rep.Findings, f) }
+
+// usersInScope lists the users the rule applies to: every user whose
+// isa-closure reaches the rule's subject (axiom 13).
+func usersInScope(h *subject.Hierarchy, subj string) []string {
+	var users []string
+	for _, u := range h.Users() {
+		if h.ISA(u, subj) {
+			users = append(users, u)
+		}
+	}
+	sort.Strings(users)
+	return users
+}
+
+// deadRulePass flags rules that can never decide any authorization: either
+// no user is in the rule's scope, or for every user in scope some
+// later-priority same-privilege rule with an exact pattern contains this
+// rule's pattern, so axiom 14 always prefers the later rule. Soundness:
+// the shadower must be Exact (an over-approximated shadower might not
+// really cover every node), while the victim may be inexact — its
+// over-approximation only widens what must be contained.
+func deadRulePass(rep *Report, infos []*ruleInfo) {
+	for i, ri := range infos {
+		if ri.empty {
+			continue // already reported; also vacuously dead
+		}
+		if len(ri.users) == 0 {
+			rep.add(Finding{
+				Code: CodeDeadRule, Severity: Warning, Rule: ri.rule.String(), Priority: ri.rule.Priority,
+				Message: fmt.Sprintf("no user is in scope of subject %q; the rule can never apply", ri.rule.Subject),
+			})
+			continue
+		}
+		shadowers := map[int64]bool{}
+		dead := true
+		for _, u := range ri.users {
+			found := false
+			for _, rj := range infos {
+				if rj == infos[i] || rj.rule.Priority <= ri.rule.Priority ||
+					rj.rule.Privilege != ri.rule.Privilege || !rj.pat.Exact {
+					continue
+				}
+				if !userInScope(rj, u) {
+					continue
+				}
+				if contains(rj.pat, ri.pat) {
+					shadowers[rj.rule.Priority] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			rep.add(Finding{
+				Code: CodeDeadRule, Severity: Warning, Rule: ri.rule.String(), Priority: ri.rule.Priority,
+				Message:  "every user in scope is decided by later rules covering this rule's whole region",
+				Related:  sortedPriorities(shadowers),
+				Subjects: ri.users,
+			})
+		}
+	}
+}
+
+func userInScope(ri *ruleInfo, user string) bool {
+	for _, u := range ri.users {
+		if u == user {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedPriorities(set map[int64]bool) []int64 {
+	out := make([]int64, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// conflictOverlapPass flags accept rules that reopen an earlier deny of
+// the same privilege on an overlapping region for a shared user: by axiom
+// 14 the later accept wins there, which silently weakens the deny. The
+// opposite order (deny after accept) is the model's idiomatic refinement
+// pattern — e.g. the paper's rules 10/11 — and is not reported.
+func conflictOverlapPass(rep *Report, infos []*ruleInfo) {
+	for _, acc := range infos {
+		if acc.rule.Effect != policy.Accept || acc.empty {
+			continue
+		}
+		for _, den := range infos {
+			if den.rule.Effect != policy.Deny || den.empty ||
+				den.rule.Privilege != acc.rule.Privilege ||
+				den.rule.Priority >= acc.rule.Priority {
+				continue
+			}
+			common := commonUsers(acc, den)
+			if len(common) == 0 || !overlapAll(acc.pat, den.pat) {
+				continue
+			}
+			rep.add(Finding{
+				Code: CodeConflictOverlap, Severity: Warning, Rule: acc.rule.String(), Priority: acc.rule.Priority,
+				Message: fmt.Sprintf("accept overlaps and postdates deny @%d for privilege %s; by axiom 14 the accept wins on the overlap",
+					den.rule.Priority, acc.rule.Privilege),
+				Related:  []int64{den.rule.Priority},
+				Subjects: common,
+			})
+		}
+	}
+}
+
+func commonUsers(a, b *ruleInfo) []string {
+	var out []string
+	for _, u := range a.users {
+		if userInScope(b, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// visible reports whether some user in scope of w has an accept rule for
+// priv overlapping w's region. Because patterns over-approximate, a false
+// answer proves the regions are truly disjoint for every user in scope.
+func anyVisibilityOverlap(w *ruleInfo, infos []*ruleInfo, privs ...policy.Privilege) bool {
+	for _, a := range infos {
+		if a.rule.Effect != policy.Accept || a.empty {
+			continue
+		}
+		ok := false
+		for _, p := range privs {
+			if a.rule.Privilege == p {
+				ok = true
+				break
+			}
+		}
+		if !ok || len(commonUsers(w, a)) == 0 {
+			continue
+		}
+		if overlapAll(w.pat, a.pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeInsertPass flags insert grants whose whole region is invisible to
+// every user in scope (no overlapping read or position accept): inserts
+// are resolved against the user's view (axiom 20 side conditions), so a
+// never-visible parent region means the grant can never be exercised.
+// The document node is always present in a view, so patterns that may
+// match the root are skipped.
+func writeInsertPass(rep *Report, infos []*ruleInfo) {
+	for _, w := range infos {
+		if w.rule.Effect != policy.Accept || w.rule.Privilege != policy.Insert ||
+			w.empty || len(w.users) == 0 {
+			continue
+		}
+		if overlapAll(w.pat, rootPattern()) {
+			continue
+		}
+		if !anyVisibilityOverlap(w, infos, policy.Read, policy.Position) {
+			rep.add(Finding{
+				Code: CodeInsertInvisible, Severity: Warning, Rule: w.rule.String(), Priority: w.rule.Priority,
+				Message:  "insert granted under a region no user in scope can ever see in a view; the grant can never be exercised",
+				Subjects: w.users,
+			})
+		}
+	}
+}
+
+// writeTargetPass flags update and delete grants whose targets can never
+// be selected on any view of a user in scope. Updates (rename and child
+// renaming, axioms 21–22) additionally require read on the target — a
+// RESTRICTED node cannot be renamed — so update needs an overlapping read
+// accept; deletes only need the target present in the view, so read or
+// position suffices.
+func writeTargetPass(rep *Report, infos []*ruleInfo) {
+	for _, w := range infos {
+		if w.rule.Effect != policy.Accept || w.empty || len(w.users) == 0 {
+			continue
+		}
+		switch w.rule.Privilege {
+		case policy.Update:
+			if !anyVisibilityOverlap(w, infos, policy.Read) {
+				rep.add(Finding{
+					Code: CodeUnselectableTarget, Severity: Warning, Rule: w.rule.String(), Priority: w.rule.Priority,
+					Message:  "update granted on a region no user in scope can ever read; renames there can never succeed",
+					Subjects: w.users,
+				})
+			}
+		case policy.Delete:
+			if overlapAll(w.pat, rootPattern()) {
+				continue
+			}
+			if !anyVisibilityOverlap(w, infos, policy.Read, policy.Position) {
+				rep.add(Finding{
+					Code: CodeUnselectableTarget, Severity: Warning, Rule: w.rule.String(), Priority: w.rule.Priority,
+					Message:  "delete granted on a region no user in scope can ever see in a view; the grant can never be exercised",
+					Subjects: w.users,
+				})
+			}
+		}
+	}
+}
+
+// covertChannelPass flags the §2.2 interplay: a region where a user holds
+// position (so the node appears, RESTRICTED) together with update, while
+// the latest-priority read rule overlapping that region denies read (or no
+// read rule reaches it). Such a user can rename-probe content they are not
+// allowed to read.
+func covertChannelPass(rep *Report, infos []*ruleInfo) {
+	type pairKey struct{ pos, upd int64 }
+	hits := map[pairKey][]string{}
+	for _, pos := range infos {
+		if pos.rule.Effect != policy.Accept || pos.rule.Privilege != policy.Position || pos.empty {
+			continue
+		}
+		for _, upd := range infos {
+			if upd.rule.Effect != policy.Accept || upd.rule.Privilege != policy.Update || upd.empty {
+				continue
+			}
+			common := commonUsers(pos, upd)
+			if len(common) == 0 || !overlapAll(pos.pat, upd.pat) {
+				continue
+			}
+			for _, u := range common {
+				var best *ruleInfo
+				for _, rd := range infos {
+					if rd.rule.Privilege != policy.Read || rd.empty || !userInScope(rd, u) {
+						continue
+					}
+					if !overlapAll(pos.pat, upd.pat, rd.pat) {
+						continue
+					}
+					if best == nil || rd.rule.Priority > best.rule.Priority {
+						best = rd
+					}
+				}
+				if best == nil || best.rule.Effect == policy.Deny {
+					k := pairKey{pos.rule.Priority, upd.rule.Priority}
+					hits[k] = append(hits[k], u)
+				}
+			}
+		}
+	}
+	keys := make([]pairKey, 0, len(hits))
+	for k := range hits {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pos != keys[j].pos {
+			return keys[i].pos < keys[j].pos
+		}
+		return keys[i].upd < keys[j].upd
+	})
+	for _, k := range keys {
+		users := hits[k]
+		sort.Strings(users)
+		users = dedupStrings(users)
+		rep.add(Finding{
+			Code: CodeCovertChannel, Severity: Warning, Priority: k.pos,
+			Rule: ruleString(infos, k.pos),
+			Message: fmt.Sprintf("position without read overlaps update grant @%d: users can rename-probe content they cannot read (§2.2)",
+				k.upd),
+			Related:  []int64{k.upd},
+			Subjects: users,
+		})
+	}
+}
+
+func ruleString(infos []*ruleInfo, priority int64) string {
+	for _, ri := range infos {
+		if ri.rule.Priority == priority {
+			return ri.rule.String()
+		}
+	}
+	return ""
+}
+
+func dedupStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package policyanalysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+)
+
+// TestPaperPolicyClean is the headline fidelity check: the paper's own
+// 12-rule policy (Fig. 4) over the Fig. 3 hierarchy is a well-formed
+// policy and must produce zero findings.
+func TestPaperPolicyClean(t *testing.T) {
+	h := subject.PaperHierarchy()
+	pol, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(h, pol)
+	if rep.Rules != 12 {
+		t.Errorf("Rules = %d, want 12", rep.Rules)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("paper policy must be clean, got:\n%s", rep.Text())
+	}
+	if rep.HasWarnings() || rep.HasErrors() {
+		t.Error("clean report must not claim warnings or errors")
+	}
+}
+
+// paperRules returns the paper policy as a raw rule slice, for fixtures
+// that extend it.
+func paperRules(t *testing.T, h *subject.Hierarchy) []policy.Rule {
+	t.Helper()
+	pol, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []policy.Rule
+	for _, r := range pol.Rules() {
+		rules = append(rules, *r)
+	}
+	return rules
+}
+
+func codesOf(rep *Report) map[string][]int64 {
+	out := map[string][]int64{}
+	for _, f := range rep.Findings {
+		out[f.Code] = append(out[f.Code], f.Priority)
+	}
+	return out
+}
+
+// TestBrokenPolicyFindings extends the paper policy with deliberate
+// mistakes and checks the analyzer reports exactly the expected codes:
+//   - @22 re-grants read on //diagnosis/node() to secretary, which both
+//     reopens deny @11 (conflict-overlap) and shadows it (dead-rule);
+//   - @23 grants insert under /billing//invoice to patient, a region no
+//     patient-scope rule ever makes visible (write-insert-invisible);
+//   - @24 grants update there too (write-unselectable-target).
+func TestBrokenPolicyFindings(t *testing.T) {
+	h := subject.PaperHierarchy()
+	rules := append(paperRules(t, h),
+		policy.Rule{Effect: policy.Accept, Privilege: policy.Read, Path: "//diagnosis/node()", Subject: "secretary", Priority: 22},
+		policy.Rule{Effect: policy.Accept, Privilege: policy.Insert, Path: "/billing//invoice", Subject: "patient", Priority: 23},
+		policy.Rule{Effect: policy.Accept, Privilege: policy.Update, Path: "/billing//invoice", Subject: "patient", Priority: 24},
+	)
+	rep := AnalyzeRules(h, rules)
+	want := map[string][]int64{
+		CodeDeadRule:           {11},
+		CodeConflictOverlap:    {22},
+		CodeInsertInvisible:    {23},
+		CodeUnselectableTarget: {24},
+	}
+	got := codesOf(rep)
+	if len(rep.Findings) != 4 {
+		t.Errorf("want exactly 4 findings, got %d:\n%s", len(rep.Findings), rep.Text())
+	}
+	for code, prios := range want {
+		if len(got[code]) != len(prios) || got[code][0] != prios[0] {
+			t.Errorf("code %s: got priorities %v, want %v\n%s", code, got[code], prios, rep.Text())
+		}
+	}
+	for _, f := range rep.Findings {
+		switch f.Code {
+		case CodeDeadRule:
+			if len(f.Related) != 1 || f.Related[0] != 22 {
+				t.Errorf("dead-rule related = %v, want [22]", f.Related)
+			}
+		case CodeConflictOverlap:
+			if len(f.Related) != 1 || f.Related[0] != 11 {
+				t.Errorf("conflict-overlap related = %v, want [11]", f.Related)
+			}
+			if len(f.Subjects) != 1 || f.Subjects[0] != "beaufort" {
+				t.Errorf("conflict-overlap subjects = %v, want [beaufort]", f.Subjects)
+			}
+		}
+	}
+	if !rep.HasWarnings() || rep.HasErrors() {
+		t.Errorf("broken fixture must report warnings without errors (max=%s)", rep.Max())
+	}
+}
+
+// TestCovertChannelHazard reproduces the §2.2 interplay: granting
+// secretary update on //diagnosis/node() — where it holds position but
+// read is denied — lets it rename-probe diagnoses it cannot read.
+func TestCovertChannelHazard(t *testing.T) {
+	h := subject.PaperHierarchy()
+	rules := append(paperRules(t, h),
+		policy.Rule{Effect: policy.Accept, Privilege: policy.Update, Path: "//diagnosis/node()", Subject: "secretary", Priority: 22},
+	)
+	rep := AnalyzeRules(h, rules)
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want exactly the covert-channel finding, got:\n%s", rep.Text())
+	}
+	f := rep.Findings[0]
+	if f.Code != CodeCovertChannel || f.Priority != 12 {
+		t.Errorf("got %s@%d, want %s@12", f.Code, f.Priority, CodeCovertChannel)
+	}
+	if len(f.Related) != 1 || f.Related[0] != 22 {
+		t.Errorf("related = %v, want [22]", f.Related)
+	}
+	if len(f.Subjects) != 1 || f.Subjects[0] != "beaufort" {
+		t.Errorf("subjects = %v, want [beaufort]", f.Subjects)
+	}
+}
+
+func TestErrorFindings(t *testing.T) {
+	h := subject.PaperHierarchy()
+	rules := []policy.Rule{
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "/a[", Subject: "staff", Priority: 1},
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "/a", Subject: "nobody", Priority: 2},
+	}
+	rep := AnalyzeRules(h, rules)
+	got := codesOf(rep)
+	if len(got[CodeBadPath]) != 1 || got[CodeBadPath][0] != 1 {
+		t.Errorf("bad-path: %v", got[CodeBadPath])
+	}
+	if len(got[CodeUnreachableSubject]) != 1 || got[CodeUnreachableSubject][0] != 2 {
+		t.Errorf("unreachable-subject: %v", got[CodeUnreachableSubject])
+	}
+	if !rep.HasErrors() {
+		t.Error("both findings are errors")
+	}
+}
+
+func TestEmptyPatternAndNoUserInScope(t *testing.T) {
+	h := subject.NewHierarchy()
+	if err := h.AddRole("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRole("live"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddUser("u", "live"); err != nil {
+		t.Fatal(err)
+	}
+	rules := []policy.Rule{
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "/a/attribute::text()", Subject: "live", Priority: 1},
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "/a", Subject: "ghost", Priority: 2},
+	}
+	rep := AnalyzeRules(h, rules)
+	got := codesOf(rep)
+	if len(got[CodeEmptyPattern]) != 1 || got[CodeEmptyPattern][0] != 1 {
+		t.Errorf("empty-pattern: %v\n%s", got[CodeEmptyPattern], rep.Text())
+	}
+	if len(got[CodeDeadRule]) != 1 || got[CodeDeadRule][0] != 2 {
+		t.Errorf("dead-rule (no user in scope): %v\n%s", got[CodeDeadRule], rep.Text())
+	}
+}
+
+// TestDeadRuleNeedsExactShadower: a later rule whose pattern is an
+// over-approximation (here, because of a predicate) must never count as a
+// shadower, even though its abstraction contains the victim.
+func TestDeadRuleNeedsExactShadower(t *testing.T) {
+	h := subject.PaperHierarchy()
+	rules := []policy.Rule{
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "/patients/p1", Subject: "staff", Priority: 1},
+		{Effect: policy.Deny, Privilege: policy.Read, Path: "/patients/*[position() = 1]", Subject: "staff", Priority: 2},
+	}
+	rep := AnalyzeRules(h, rules)
+	if got := codesOf(rep); len(got[CodeDeadRule]) != 0 {
+		t.Errorf("inexact shadower must not kill rule @1:\n%s", rep.Text())
+	}
+}
+
+func TestDeadRulePerUserShadowing(t *testing.T) {
+	// Rule @1 grants read to staff; secretary-scope and doctor-scope rules
+	// together cover every staff user only if each user has its own
+	// shadower. richard (epidemiologist) has none, so @1 stays live.
+	h := subject.PaperHierarchy()
+	rules := []policy.Rule{
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "//diagnosis", Subject: "staff", Priority: 1},
+		{Effect: policy.Deny, Privilege: policy.Read, Path: "/descendant-or-self::node()", Subject: "secretary", Priority: 2},
+		{Effect: policy.Deny, Privilege: policy.Read, Path: "/descendant-or-self::node()", Subject: "doctor", Priority: 3},
+	}
+	rep := AnalyzeRules(h, rules)
+	if got := codesOf(rep); len(got[CodeDeadRule]) != 0 {
+		t.Errorf("rule @1 is live for richard:\n%s", rep.Text())
+	}
+	rules = append(rules, policy.Rule{Effect: policy.Deny, Privilege: policy.Read, Path: "/descendant-or-self::node()", Subject: "epidemiologist", Priority: 4})
+	rep = AnalyzeRules(h, rules)
+	got := codesOf(rep)
+	if len(got[CodeDeadRule]) != 1 || got[CodeDeadRule][0] != 1 {
+		t.Errorf("rule @1 now shadowed for every staff user: %v\n%s", got[CodeDeadRule], rep.Text())
+	}
+	for _, f := range rep.Findings {
+		if f.Code == CodeDeadRule && len(f.Related) != 3 {
+			t.Errorf("dead-rule related = %v, want the three per-user shadowers", f.Related)
+		}
+	}
+}
+
+func TestReportJSONAndText(t *testing.T) {
+	h := subject.PaperHierarchy()
+	rules := []policy.Rule{
+		{Effect: policy.Accept, Privilege: policy.Read, Path: "/a[", Subject: "staff", Priority: 7},
+	}
+	rep := AnalyzeRules(h, rules)
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"severity":"error"`) {
+		t.Errorf("JSON severity must be a string: %s", raw)
+	}
+	if !strings.Contains(rep.Text(), "bad-path rule@7") {
+		t.Errorf("text output: %s", rep.Text())
+	}
+}

@@ -1,0 +1,301 @@
+// Package policyanalysis statically analyzes an access-control policy
+// against a subject hierarchy, without any document: each rule's XPath is
+// abstracted into a conservative downward pattern (xpath.Pattern) and the
+// analyzer decides satisfiability, overlap and containment of those
+// patterns exactly, by compiling them to word automata over root-to-node
+// paths. Findings (dead rules, accept/deny reopenings, write grants that
+// can never be exercised on any view, covert-channel hazards) are reported
+// with stable codes so CI and the admin tooling can gate on them.
+package policyanalysis
+
+import (
+	"sort"
+	"strings"
+
+	"securexml/internal/xpath"
+)
+
+// A node in any document is identified, for pattern purposes, by the word
+// of symbols on the walk from the document node down to it. Symbols carry
+// the node category and, for elements and attributes, the name — collapsed
+// to "" ("any other name") when the name is not mentioned by the patterns
+// under consideration, which keeps the alphabet finite without losing
+// precision for those patterns.
+
+type symCat int
+
+const (
+	catElem symCat = iota
+	catAttr
+	catText
+	catComment
+	catPI
+)
+
+type symbol struct {
+	cat  symCat
+	name string // "" = some name not mentioned by any involved pattern
+}
+
+// alphabetFor builds the finite symbol alphabet relevant to a set of
+// patterns: every element/attribute name any of them mentions, plus one
+// "other" representative per category.
+func alphabetFor(pats []*xpath.Pattern) []symbol {
+	elems := map[string]bool{}
+	attrs := map[string]bool{}
+	for _, p := range pats {
+		for _, alt := range p.Alts {
+			for _, st := range alt {
+				switch st.Kind {
+				case xpath.PatNamedElement:
+					elems[st.Name] = true
+				case xpath.PatNamedAttribute:
+					attrs[st.Name] = true
+				}
+			}
+		}
+	}
+	var alpha []symbol
+	for _, m := range []struct {
+		cat   symCat
+		names map[string]bool
+	}{{catElem, elems}, {catAttr, attrs}} {
+		names := make([]string, 0, len(m.names))
+		for n := range m.names {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			alpha = append(alpha, symbol{m.cat, n})
+		}
+		alpha = append(alpha, symbol{m.cat, ""})
+	}
+	alpha = append(alpha, symbol{catText, ""}, symbol{catComment, ""}, symbol{catPI, ""})
+	return alpha
+}
+
+// stepMatches reports whether one pattern step accepts one path symbol.
+func stepMatches(st xpath.PatternStep, s symbol) bool {
+	switch st.Kind {
+	case xpath.PatAnyNode:
+		return true
+	case xpath.PatAnyChild:
+		return s.cat != catAttr
+	case xpath.PatElement:
+		return s.cat == catElem
+	case xpath.PatNamedElement:
+		return s.cat == catElem && s.name == st.Name
+	case xpath.PatText:
+		return s.cat == catText
+	case xpath.PatComment:
+		return s.cat == catComment
+	case xpath.PatPI:
+		return s.cat == catPI
+	case xpath.PatAnyAttribute:
+		return s.cat == catAttr
+	case xpath.PatNamedAttribute:
+		return s.cat == catAttr && s.name == st.Name
+	default:
+		return false
+	}
+}
+
+// gapMatches reports whether a symbol may occur strictly *inside* a gap
+// (the intermediate levels of a '//'). Intermediate nodes on a descendant
+// walk are non-attribute nodes — the descendant axis recurses through
+// Children(), never through attributes — except under the universal
+// PatAnyNode over-approximation, whose words must also reach
+// attribute-value text (…·attr·text).
+func gapMatches(next xpath.PatternStep, s symbol) bool {
+	if next.Kind == xpath.PatAnyNode {
+		return true
+	}
+	return s.cat != catAttr
+}
+
+// nfa is the word automaton of one pattern. State i (1-based within an
+// alternative chain) means "the first i steps of this alternative are
+// matched"; state 0 is the shared start. Gap steps add self-loop behavior
+// handled in step().
+type nfa struct {
+	alts [][]xpath.PatternStep
+}
+
+type nfaState struct {
+	alt int // index into alts
+	pos int // number of steps already matched
+}
+
+// start returns the initial state set: position 0 of every alternative.
+func (a *nfa) start() []nfaState {
+	states := make([]nfaState, len(a.alts))
+	for i := range a.alts {
+		states[i] = nfaState{alt: i, pos: 0}
+	}
+	return states
+}
+
+// accepting reports whether any current state has consumed its whole
+// alternative.
+func (a *nfa) accepting(states []nfaState) bool {
+	for _, st := range states {
+		if st.pos == len(a.alts[st.alt]) {
+			return true
+		}
+	}
+	return false
+}
+
+// step advances every state over one symbol (subset construction).
+func (a *nfa) step(states []nfaState, s symbol) []nfaState {
+	seen := map[nfaState]bool{}
+	var out []nfaState
+	add := func(st nfaState) {
+		if !seen[st] {
+			seen[st] = true
+			out = append(out, st)
+		}
+	}
+	for _, st := range states {
+		alt := a.alts[st.alt]
+		if st.pos < len(alt) {
+			next := alt[st.pos]
+			if stepMatches(next, s) {
+				add(nfaState{alt: st.alt, pos: st.pos + 1})
+			}
+			if next.Gap && gapMatches(next, s) {
+				add(st) // stay inside the gap
+			}
+		}
+	}
+	return out
+}
+
+// stateKey serializes a state set for visited-set deduplication.
+func stateKey(states []nfaState) string {
+	pairs := make([]string, len(states))
+	for i, st := range states {
+		pairs[i] = itoa(st.alt) + ":" + itoa(st.pos)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// searchWord runs the product subset simulation of several pattern
+// automata over all words in the alphabet, breadth-first, and reports
+// whether some word (including the empty word, i.e. the document node
+// itself) reaches a configuration satisfying goal. The subset construction
+// is deterministic, so "pattern does NOT match" is decidable per word —
+// which is what makes containment checking possible.
+func searchWord(nfas []*nfa, alpha []symbol, goal func(accepts []bool) bool) bool {
+	cur := make([][]nfaState, len(nfas))
+	for i, a := range nfas {
+		cur[i] = a.start()
+	}
+	check := func(cfg [][]nfaState) bool {
+		acc := make([]bool, len(nfas))
+		for i, a := range nfas {
+			acc[i] = a.accepting(cfg[i])
+		}
+		return goal(acc)
+	}
+	cfgKey := func(cfg [][]nfaState) string {
+		var b strings.Builder
+		for i, states := range cfg {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(stateKey(states))
+		}
+		return b.String()
+	}
+	if check(cur) {
+		return true
+	}
+	visited := map[string]bool{cfgKey(cur): true}
+	queue := [][][]nfaState{cur}
+	for len(queue) > 0 {
+		cfg := queue[0]
+		queue = queue[1:]
+		for _, s := range alpha {
+			next := make([][]nfaState, len(nfas))
+			alive := false
+			for i, a := range nfas {
+				next[i] = a.step(cfg[i], s)
+				if len(next[i]) > 0 {
+					alive = true
+				}
+			}
+			if check(next) {
+				return true
+			}
+			if !alive {
+				continue // dead configuration: no future word can change accepts
+			}
+			k := cfgKey(next)
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+func nfaOf(p *xpath.Pattern) *nfa { return &nfa{alts: p.Alts} }
+
+// satisfiable reports whether some document node could match the pattern.
+func satisfiable(p *xpath.Pattern) bool {
+	return searchWord([]*nfa{nfaOf(p)}, alphabetFor([]*xpath.Pattern{p}),
+		func(acc []bool) bool { return acc[0] })
+}
+
+// overlapAll reports whether some single node could match every pattern at
+// once. For exact patterns this is precise; with any inexact pattern it is
+// a sound "maybe overlaps".
+func overlapAll(ps ...*xpath.Pattern) bool {
+	nfas := make([]*nfa, len(ps))
+	for i, p := range ps {
+		nfas[i] = nfaOf(p)
+	}
+	return searchWord(nfas, alphabetFor(ps), func(acc []bool) bool {
+		for _, a := range acc {
+			if !a {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// contains reports whether every node matching inner also matches outer:
+// no word is accepted by inner and rejected by outer. Callers must only
+// trust a true result when outer.Exact holds (an inexact outer matches
+// more words than the real rule selects); inner may be inexact — its
+// over-approximation only makes containment harder to establish, which is
+// the sound direction.
+func contains(outer, inner *xpath.Pattern) bool {
+	return !searchWord([]*nfa{nfaOf(inner), nfaOf(outer)},
+		alphabetFor([]*xpath.Pattern{inner, outer}),
+		func(acc []bool) bool { return acc[0] && !acc[1] })
+}
+
+// rootPattern matches exactly the document node — used to test whether a
+// pattern can select the root.
+func rootPattern() *xpath.Pattern {
+	return &xpath.Pattern{Alts: [][]xpath.PatternStep{{}}, Exact: true}
+}

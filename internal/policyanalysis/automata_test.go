@@ -1,0 +1,100 @@
+package policyanalysis
+
+import (
+	"testing"
+
+	"securexml/internal/xpath"
+)
+
+func pat(t *testing.T, src string) *xpath.Pattern {
+	t.Helper()
+	c, err := xpath.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return c.Pattern()
+}
+
+func TestSatisfiable(t *testing.T) {
+	for _, src := range []string{"/", "/a", "//a/b", "/a/@id", "//text()", "/descendant-or-self::node()"} {
+		if !satisfiable(pat(t, src)) {
+			t.Errorf("satisfiable(%q) = false", src)
+		}
+	}
+	if satisfiable(pat(t, "/a/attribute::text()")) {
+		t.Error("attribute::text() must be unsatisfiable")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"/a", "/a", true},
+		{"/a", "/b", false},
+		{"/a/*", "/a/b", true},
+		{"//diagnosis/node()", "/patients/*", false},
+		{"//diagnosis/node()", "/descendant-or-self::node()", true},
+		{"//b", "/a/b/c", false}, // //b selects b elements, /a/b/c a c element
+		{"//b", "/a//b", true},
+		{"/a/@id", "/a/node()", false}, // child::node() never selects attributes
+		{"/a/@id", "/a/@*", true},
+		{"//text()", "/a/b", false},
+		{"/patients", "/patients/*[name() = $USER]", false}, // approx keeps depth
+		{"/billing//invoice", "/patients/*[name() = $USER]/descendant-or-self::node()", false},
+	}
+	for _, tc := range cases {
+		if got := overlapAll(pat(t, tc.a), pat(t, tc.b)); got != tc.want {
+			t.Errorf("overlap(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestOverlapThreeWay(t *testing.T) {
+	if !overlapAll(pat(t, "//b"), pat(t, "/a//node()"), pat(t, "/descendant-or-self::node()")) {
+		t.Error("three-way overlap on /a/b missed")
+	}
+	if overlapAll(pat(t, "//b"), pat(t, "/a/c"), pat(t, "/descendant-or-self::node()")) {
+		t.Error("three-way overlap claimed where pairwise disjoint")
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		outer, inner string
+		want         bool
+	}{
+		{"/descendant-or-self::node()", "//diagnosis/node()", true},
+		{"//diagnosis/node()", "//diagnosis/node()", true},
+		{"/a/*", "/a/b", true},
+		{"/a/b", "/a/*", false},
+		{"//b", "/a/b", true},
+		{"/a/b", "//b", false},
+		{"/a//b", "/a/c/b", true},
+		{"//node()", "//diagnosis", true},
+		{"//diagnosis", "//node()", false},
+		// The descendant axis never traverses attributes, so even the
+		// paper's rule-10 path does not cover attribute nodes.
+		{"/descendant-or-self::node()", "/a/@id", false},
+		{"//node()", "/a/@id", false},
+		{"/a", "/a/attribute::text()", true}, // empty inner is contained in anything
+	}
+	for _, tc := range cases {
+		if got := contains(pat(t, tc.outer), pat(t, tc.inner)); got != tc.want {
+			t.Errorf("contains(%q ⊇ %q) = %v, want %v", tc.outer, tc.inner, got, tc.want)
+		}
+	}
+}
+
+func TestUniversalPatternReachesAttributes(t *testing.T) {
+	// The over-approximation for reverse axes etc. must cover attribute
+	// nodes and their text values, or containment checks against it would
+	// be unsound.
+	univ := pat(t, "/a/parent::node()")
+	for _, src := range []string{"/a/@id", "/a/@id/text()", "//text()", "/x/y/z"} {
+		if !contains(univ, pat(t, src)) {
+			t.Errorf("universal pattern fails to contain %q", src)
+		}
+	}
+}

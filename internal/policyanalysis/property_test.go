@@ -1,0 +1,127 @@
+package policyanalysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/view"
+	"securexml/internal/workload"
+	"securexml/internal/xmltree"
+)
+
+// randomPolicy draws rules from a pool of paths and subjects that overlap
+// and shadow each other often, so the dead-rule pass has real work to do.
+func randomPolicy(t *testing.T, h *subject.Hierarchy, rng *rand.Rand) *policy.Policy {
+	t.Helper()
+	paths := []string{
+		"/descendant-or-self::node()",
+		"//diagnosis",
+		"//diagnosis/node()",
+		"/patients",
+		"/patients/*",
+		"/patients/node()",
+		"//service",
+		"//service/node()",
+		"//record",
+		"//note",
+		"//text()",
+		"/patients/*[name() = $USER]/descendant-or-self::node()",
+	}
+	subjects := []string{"staff", "secretary", "doctor", "epidemiologist", "patient", "beaufort", "laporte"}
+	pol := policy.New()
+	n := 6 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		r := policy.Rule{
+			Effect:    policy.Effect(rng.Intn(2)),
+			Privilege: policy.Privileges[rng.Intn(len(policy.Privileges))],
+			Path:      paths[rng.Intn(len(paths))],
+			Subject:   subjects[rng.Intn(len(subjects))],
+			Priority:  int64(i + 1),
+		}
+		if err := pol.Add(h, r); err != nil {
+			t.Fatalf("Add(%v): %v", r, err)
+		}
+	}
+	return pol
+}
+
+// without rebuilds the policy with the rule at the given priority removed.
+func without(t *testing.T, h *subject.Hierarchy, pol *policy.Policy, priority int64) *policy.Policy {
+	t.Helper()
+	out := policy.New()
+	for _, r := range pol.Rules() {
+		if r.Priority == priority {
+			continue
+		}
+		if err := out.Add(h, *r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestDeadRuleRemovalSoundness is the analyzer's ground-truth validation:
+// over ≥100 workload-generated (hierarchy, policy) pairs, deleting any
+// rule the analyzer calls dead (or empty-pattern) must leave every user's
+// permission matrix and materialized view bit-identical.
+func TestDeadRuleRemovalSoundness(t *testing.T) {
+	const pairs = 110
+	totalDead := 0
+	for seed := int64(0); seed < pairs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nPatients := 3 + int(seed%4)
+		h, err := workload.HospitalHierarchy(nPatients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := workload.Hospital(workload.HospitalConfig{
+			Patients:          nPatients,
+			RecordsPerPatient: int(seed % 3),
+			Seed:              seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := randomPolicy(t, h, rng)
+		rep := Analyze(h, pol)
+		for _, f := range rep.Findings {
+			if f.Code != CodeDeadRule && f.Code != CodeEmptyPattern {
+				continue
+			}
+			totalDead++
+			reduced := without(t, h, pol, f.Priority)
+			for _, u := range h.Users() {
+				assertEquivalent(t, doc, h, pol, reduced, u, seed, f)
+			}
+		}
+	}
+	if totalDead == 0 {
+		t.Fatal("workload never produced a dead rule; the property was vacuous")
+	}
+	t.Logf("validated removal of %d dead rules across %d policies", totalDead, pairs)
+}
+
+func assertEquivalent(t *testing.T, doc *xmltree.Document, h *subject.Hierarchy, full, reduced *policy.Policy, user string, seed int64, f Finding) {
+	t.Helper()
+	pmFull, err := full.Evaluate(doc, h, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmReduced, err := reduced.Evaluate(doc, h, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range doc.Nodes() {
+		for _, priv := range policy.Privileges {
+			if pmFull.Has(n, priv) != pmReduced.Has(n, priv) {
+				t.Fatalf("seed %d: removing %s@%d changed %s/%s for user %s",
+					seed, f.Code, f.Priority, n.ID(), priv, user)
+			}
+		}
+	}
+	if a, b := view.Materialize(doc, pmFull).Doc.XML(), view.Materialize(doc, pmReduced).Doc.XML(); a != b {
+		t.Fatalf("seed %d: removing %s@%d changed the view of user %s", seed, f.Code, f.Priority, user)
+	}
+}

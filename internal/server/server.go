@@ -13,10 +13,12 @@
 //	GET  /value?xpath=EXPR        atomic result of EXPR
 //	POST /update                  an <xupdate:modifications> document
 //	POST /transform               an XSLT stylesheet, run as the user (§5)
+//	GET  /analyze                 static policy analysis (JSON; ?format=text)
 //	GET  /healthz                 liveness, database stats
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +45,7 @@ func New(db *core.Database) *Server {
 	s.mux.HandleFunc("GET /value", s.withSession(s.handleValue))
 	s.mux.HandleFunc("POST /update", s.withSession(s.handleUpdate))
 	s.mux.HandleFunc("POST /transform", s.withSession(s.handleTransform))
+	s.mux.HandleFunc("GET /analyze", s.withSession(s.handleAnalyze))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -159,6 +162,19 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request, session
 	}
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	io.WriteString(w, out)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, _ *core.Session) {
+	rep := s.db.AnalyzePolicy()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, rep.Text())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := json.NewEncoder(w).Encode(rep); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -217,5 +218,31 @@ func TestTransformEndpoint(t *testing.T) {
 	code, _ = post(t, ts, "laporte", "/transform", "<bad")
 	if code != http.StatusBadRequest {
 		t.Errorf("bad stylesheet -> %d", code)
+	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, _ := get(t, ts, "", "/analyze")
+	if code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated /analyze: %d", code)
+	}
+	code, body := get(t, ts, "beaufort", "/analyze")
+	if code != http.StatusOK {
+		t.Fatalf("/analyze: %d %s", code, body)
+	}
+	var rep struct {
+		Rules    int               `json:"rules"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("JSON: %v\n%s", err, body)
+	}
+	if rep.Rules != 7 || len(rep.Findings) != 0 {
+		t.Errorf("rules=%d findings=%d, want 7 clean rules\n%s", rep.Rules, len(rep.Findings), body)
+	}
+	code, body = get(t, ts, "beaufort", "/analyze?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "no findings") {
+		t.Errorf("text format: %d %q", code, body)
 	}
 }

@@ -35,6 +35,7 @@ const HelpText = `Commands:
   addrole <name> [parents...]     declare a role (admin)
   adduser <name> [roles...]       declare a user (admin)
   rules | users | roles | stats   inspect the database
+  lint                            static policy analysis (admin)
   source                          print the raw document (admin)
   save <file>                     write a durable snapshot (admin)
   open <file>                     restore a snapshot (admin)
@@ -119,6 +120,9 @@ func (sh *Shell) Execute(line string) error {
 		return nil
 	case "source":
 		sh.printf("%s\n", sh.db.SourceXML())
+		return nil
+	case "lint":
+		sh.printf("%s", sh.db.AnalyzePolicy().Text())
 		return nil
 	case "save":
 		return sh.save(rest)

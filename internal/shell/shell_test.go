@@ -244,3 +244,17 @@ func TestTransformCommand(t *testing.T) {
 func osWriteFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+func TestLintCommand(t *testing.T) {
+	out := run(t, "lint")
+	if !strings.Contains(out, "no findings") {
+		t.Errorf("lint on the paper policy: %q", out)
+	}
+	out = run(t,
+		"grant update secretary //diagnosis/node()",
+		"lint",
+	)
+	if !strings.Contains(out, "covert-channel-hazard") {
+		t.Errorf("lint after covert grant: %q", out)
+	}
+}

@@ -86,11 +86,11 @@ func TestPatientRobertView(t *testing.T) {
 	expectView(t, v, []viewFact{
 		{xmltree.KindDocument, "/"},
 		{xmltree.KindElement, "patients"},
-		{xmltree.KindElement, "robert"},      // n7
-		{xmltree.KindElement, "service"},     // n8
-		{xmltree.KindText, "pneumology"},     // n9
-		{xmltree.KindElement, "diagnosis"},   // n10
-		{xmltree.KindText, "pneumonia"},      // n11
+		{xmltree.KindElement, "robert"},    // n7
+		{xmltree.KindElement, "service"},   // n8
+		{xmltree.KindText, "pneumology"},   // n9
+		{xmltree.KindElement, "diagnosis"}, // n10
+		{xmltree.KindText, "pneumonia"},    // n11
 	})
 	if v.Restricted != 0 {
 		t.Errorf("Restricted = %d", v.Restricted)

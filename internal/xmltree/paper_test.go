@@ -137,7 +137,7 @@ func TestFig2GeometryExamples(t *testing.T) {
 
 // TestFig2AppendAlbert reproduces the §3.4.2 append example at the tree
 // level: inserting albert's record under /patients yields the new geometry
-// facts the paper lists (preceding_sibling(n7, n1''), child(n1'', n1), …).
+// facts the paper lists (preceding_sibling(n7, n1”), child(n1”, n1), …).
 func TestFig2AppendAlbert(t *testing.T) {
 	d := MustParse(PaperDocumentXML)
 	n := paperNodes(t, d)

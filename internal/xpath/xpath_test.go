@@ -294,18 +294,18 @@ func TestNodeSetComparisons(t *testing.T) {
 		expr string
 		want bool
 	}{
-		{"//author = 'Ann'", true},        // exists an author 'Ann'
-		{"//author = 'Zed'", false},       //
-		{"//author != 'Ann'", true},       // exists an author that isn't Ann
-		{"//price > 50", true},            //
-		{"//price > 100", false},          //
-		{"//price < 20", true},            // journal price 12
-		{"30 = //price", true},            // swapped operands
+		{"//author = 'Ann'", true},                // exists an author 'Ann'
+		{"//author = 'Zed'", false},               //
+		{"//author != 'Ann'", true},               // exists an author that isn't Ann
+		{"//price > 50", true},                    //
+		{"//price > 100", false},                  //
+		{"//price < 20", true},                    // journal price 12
+		{"30 = //price", true},                    // swapped operands
 		{"//book/title = //journal/title", false}, // no common string value
 		{"//book/author = //book/author", true},   //
-		{"//missing = //missing", false},  // empty sets never compare equal
-		{"//book = true()", true},         // boolean(nodeset)
-		{"//missing = false()", true},     //
+		{"//missing = //missing", false},          // empty sets never compare equal
+		{"//book = true()", true},                 // boolean(nodeset)
+		{"//missing = false()", true},             //
 	}
 	for _, tc := range cases {
 		c := MustCompile(tc.expr)
@@ -428,12 +428,12 @@ func asSyntaxError(err error, target **SyntaxError) bool {
 func TestEvalTypeErrors(t *testing.T) {
 	d := doc(t)
 	cases := []string{
-		"count('str')",     // count of non-node-set
-		"sum(1)",           // sum of non-node-set
-		"name(3)",          // name of non-node-set
-		"'a' | //book",     // union with atomic
-		"('str')[1]",       // predicate on atomic
-		"('str')/x",        // path step on atomic
+		"count('str')", // count of non-node-set
+		"sum(1)",       // sum of non-node-set
+		"name(3)",      // name of non-node-set
+		"'a' | //book", // union with atomic
+		"('str')[1]",   // predicate on atomic
+		"('str')/x",    // path step on atomic
 	}
 	for _, src := range cases {
 		c, err := Compile(src)

@@ -64,11 +64,11 @@ func TestPaperRenameExample(t *testing.T) {
 		{xmltree.KindDocument, "/"},
 		{xmltree.KindElement, "patients"},
 		{xmltree.KindElement, "franck"},
-		{xmltree.KindElement, "department"},   // n3: renamed
-		{xmltree.KindText, "otolaryngology"},  // n4: content preserved
-		{xmltree.KindElement, "diagnosis"},    // n5
-		{xmltree.KindText, "tonsillitis"},     // n6
-		{xmltree.KindElement, "robert"},       // n7
+		{xmltree.KindElement, "department"},  // n3: renamed
+		{xmltree.KindText, "otolaryngology"}, // n4: content preserved
+		{xmltree.KindElement, "diagnosis"},   // n5
+		{xmltree.KindText, "tonsillitis"},    // n6
+		{xmltree.KindElement, "robert"},      // n7
 	})
 }
 
@@ -86,8 +86,8 @@ func TestPaperUpdateExample(t *testing.T) {
 		{xmltree.KindElement, "franck"},
 		{xmltree.KindElement, "service"},
 		{xmltree.KindText, "otolaryngology"},
-		{xmltree.KindElement, "diagnosis"},  // n5: label untouched
-		{xmltree.KindText, "pharyngitis"},   // n6: updated
+		{xmltree.KindElement, "diagnosis"}, // n5: label untouched
+		{xmltree.KindText, "pharyngitis"},  // n6: updated
 		{xmltree.KindElement, "robert"},
 	})
 }

@@ -24,12 +24,12 @@ type Kind int
 
 // The six XUpdate operations (§3.4.1–3.4.3).
 const (
-	Update Kind = iota // replace the content (child) of selected nodes
-	Rename             // relabel selected nodes
-	Append             // insert a tree as last child of selected nodes
-	InsertBefore       // insert a tree as immediately preceding sibling
-	InsertAfter        // insert a tree as immediately following sibling
-	Remove             // delete the subtrees rooted at selected nodes
+	Update       Kind = iota // replace the content (child) of selected nodes
+	Rename                   // relabel selected nodes
+	Append                   // insert a tree as last child of selected nodes
+	InsertBefore             // insert a tree as immediately preceding sibling
+	InsertAfter              // insert a tree as immediately following sibling
+	Remove                   // delete the subtrees rooted at selected nodes
 )
 
 // String returns the xupdate element name of the operation.
