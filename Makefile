@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all verify lint race fuzz
+.PHONY: all verify lint race fuzz bench-smoke
 
 all: verify lint
 
@@ -23,6 +23,12 @@ lint:
 # core concurrent-session stress test.
 race:
 	$(GO) test -race ./...
+
+# Telemetry smoke: run the instrumented bench workload at a fixed size and
+# validate the emitted BENCH_obs.json against its schema.
+bench-smoke:
+	$(GO) run ./cmd/xmlsec-bench -exp obs -quick -obs-iters 250 -out BENCH_obs.json
+	$(GO) run ./cmd/xmlsec-bench -validate BENCH_obs.json
 
 # Bounded fuzzing of the three parser targets from their seed corpora.
 fuzz:

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	xmlsec-bench                # run all experiments
-//	xmlsec-bench -exp b1        # one experiment (b1..b7)
-//	xmlsec-bench -quick         # smaller sweeps
+//	xmlsec-bench                        # run all experiments
+//	xmlsec-bench -exp b1                # one experiment (b1..b7, obs)
+//	xmlsec-bench -quick                 # smaller sweeps
+//	xmlsec-bench -exp obs -out BENCH_obs.json
+//	xmlsec-bench -validate BENCH_obs.json
 package main
 
 import (
@@ -30,21 +32,40 @@ import (
 	"securexml/internal/xupdate"
 )
 
-var quick bool
+var (
+	quick    bool
+	obsOut   string
+	obsIters int
+)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (b1..b6 or all)")
+	exp := flag.String("exp", "all", "experiment to run (b1..b7, obs, or all)")
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
+	flag.StringVar(&obsOut, "out", "BENCH_obs.json", "where the obs experiment writes its report")
+	flag.IntVar(&obsIters, "obs-iters", 0, "override the obs experiment iteration count")
+	validate := flag.String("validate", "", "validate an emitted obs report and exit")
 	flag.Parse()
 
+	if *validate != "" {
+		rep, err := validateObsReport(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmlsec-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (%d ops, %.0f ops/sec, hit-rate %.3f, %d stages)\n",
+			*validate, rep.Ops, rep.OpsPerSec, rep.Cache.HitRate, len(rep.Stages))
+		return
+	}
+
 	experiments := map[string]func() error{
-		"b1": b1ViewMaterialization,
-		"b2": b2XPathAxes,
-		"b3": b3WritePaths,
-		"b4": b4LabelSchemes,
-		"b5": b5LogicVsNative,
-		"b6": b6ConflictResolution,
-		"b7": b7QueryFilter,
+		"b1":  b1ViewMaterialization,
+		"b2":  b2XPathAxes,
+		"b3":  b3WritePaths,
+		"b4":  b4LabelSchemes,
+		"b5":  b5LogicVsNative,
+		"b6":  b6ConflictResolution,
+		"b7":  b7QueryFilter,
+		"obs": bObs,
 	}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
@@ -58,7 +79,7 @@ func main() {
 		}
 		return
 	}
-	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7"} {
+	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "obs"} {
 		if err := experiments[name](); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlsec-bench:", err)
 			os.Exit(1)

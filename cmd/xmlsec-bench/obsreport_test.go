@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestObsReportRoundTrip(t *testing.T) {
+	rep, err := runObs(10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != obsSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	for _, name := range obsStages {
+		if rep.Stages[name].Count == 0 {
+			t.Errorf("stage %q empty", name)
+		}
+	}
+	if rep.Cache.HitRate <= 0 || rep.Cache.HitRate >= 1 {
+		t.Errorf("hit rate %g, want in (0,1) for a mixed workload", rep.Cache.HitRate)
+	}
+	path := filepath.Join(t.TempDir(), "obs.json")
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := validateObsReport(path); err != nil {
+		t.Errorf("round-trip report does not validate: %v", err)
+	}
+}
+
+func TestValidateObsReportRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		file string
+		want string
+	}{
+		{write("garbage.json", "not json"), "not valid JSON"},
+		{write("schema.json", `{"schema":"other/v9"}`), "schema"},
+		{write("empty.json", `{"schema":"securexml/bench-obs/v1","ops":1,"elapsed_seconds":1,"ops_per_sec":1}`), "stage"},
+	}
+	for _, c := range cases {
+		_, err := validateObsReport(c.file)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("validate(%s) = %v, want error containing %q", c.file, err, c.want)
+		}
+	}
+	if _, err := validateObsReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}

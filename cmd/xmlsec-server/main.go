@@ -8,6 +8,12 @@
 //	xmlsec-server                      # paper scenario on :8080
 //	xmlsec-server -addr :9090
 //	xmlsec-server -snapshot db.sxml    # serve a restored snapshot
+//	xmlsec-server -pprof               # also expose /debug/pprof/
+//	xmlsec-server -accesslog access.jsonl
+//
+// Telemetry is always on: Prometheus text on /metrics, an expvar snapshot
+// on /debug/vars, and a structured JSON access log (stderr by default,
+// -accesslog off to silence).
 package main
 
 import (
@@ -41,6 +47,8 @@ func main() {
 	snapshot := flag.String("snapshot", "", "serve a database restored from this snapshot file")
 	journalPath := flag.String("journal", "", "append executed modifications to this command log")
 	recover := flag.Bool("recover", false, "replay the journal on top of the snapshot before serving")
+	pprof := flag.Bool("pprof", false, "expose runtime profiles under /debug/pprof/")
+	accessLog := flag.String("accesslog", "stderr", `structured access log: "stderr", "off", or a file path`)
 	flag.Parse()
 
 	var db *core.Database
@@ -88,9 +96,26 @@ func main() {
 			fatal(err)
 		}
 	}
+	var opts []server.Option
+	if *pprof {
+		opts = append(opts, server.WithPprof())
+		fmt.Println("pprof enabled on /debug/pprof/")
+	}
+	switch *accessLog {
+	case "off":
+	case "stderr":
+		opts = append(opts, server.WithAccessLog(os.Stderr))
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, server.WithAccessLog(f))
+		fmt.Printf("access log -> %s\n", *accessLog)
+	}
 	st := db.Stats()
-	fmt.Printf("listening on %s (%d nodes, %d rules, %d users)\n", *addr, st.Nodes, st.Rules, st.Users)
-	if err := http.ListenAndServe(*addr, server.New(db)); err != nil {
+	fmt.Printf("listening on %s (%d nodes, %d rules, %d users); metrics on /metrics\n", *addr, st.Nodes, st.Rules, st.Users)
+	if err := http.ListenAndServe(*addr, server.New(db, opts...)); err != nil {
 		fatal(err)
 	}
 }

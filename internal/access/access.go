@@ -24,7 +24,9 @@ package access
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"securexml/internal/obs"
 	"securexml/internal/policy"
 	"securexml/internal/subject"
 	"securexml/internal/view"
@@ -35,6 +37,24 @@ import (
 
 // ErrUnknownUser is returned when the session user is not in the hierarchy.
 var ErrUnknownUser = errors.New("access: unknown user")
+
+// Telemetry: the secured write pipeline records the view-select and the
+// axiom 18–25 application loop as stages, plus per-kind op outcomes and
+// per-node applied/skipped counts.
+var (
+	selectStage  = obs.Stage("xpath_eval")
+	applyStage   = obs.Stage("xupdate_apply")
+	nodesApplied = obs.Default().Counter("xmlsec_xupdate_nodes_total", "result", "applied")
+	nodesSkipped = obs.Default().Counter("xmlsec_xupdate_nodes_total", "result", "skipped")
+)
+
+// opOutcome counts one secured operation by kind and outcome
+// (applied | skipped | noop | error). The label drops the wire prefix:
+// kind="update", not kind="xupdate:update".
+func opOutcome(k xupdate.Kind, outcome string) {
+	obs.Default().Counter("xmlsec_xupdate_ops_total",
+		"kind", strings.TrimPrefix(k.String(), "xupdate:"), "outcome", outcome).Inc()
+}
 
 // Execute applies op on behalf of user: permissions are evaluated (axiom
 // 14), the user's view is materialized (axioms 15–17), the op's select path
@@ -80,15 +100,32 @@ func ExecuteWithVars(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Po
 		cp.Content = expanded
 		run = &cp
 	}
+	selSpan := obs.StartSpan(selectStage)
 	sel, err := xpath.Select(v.Doc, run.Select, vars)
+	selSpan.End()
 	if err != nil {
+		opOutcome(op.Kind, "error")
 		return nil, nil, fmt.Errorf("access: evaluating select path on view: %w", err)
 	}
 	res := &xupdate.Result{Selected: len(sel)}
+	applySpan := obs.StartSpan(applyStage)
 	for _, vn := range sel {
 		if err := applySecured(doc, pm, v, run, vn, res); err != nil {
+			applySpan.End()
+			opOutcome(op.Kind, "error")
 			return nil, nil, err
 		}
+	}
+	applySpan.End()
+	nodesApplied.Add(uint64(res.Applied))
+	nodesSkipped.Add(uint64(len(res.Skipped)))
+	switch {
+	case res.Applied > 0:
+		opOutcome(op.Kind, "applied")
+	case len(res.Skipped) > 0:
+		opOutcome(op.Kind, "skipped")
+	default:
+		opOutcome(op.Kind, "noop")
 	}
 	return res, v, nil
 }

@@ -13,15 +13,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"securexml/internal/access"
 	"securexml/internal/journal"
 	"securexml/internal/labeling"
+	"securexml/internal/obs"
 	"securexml/internal/policy"
 	"securexml/internal/policyanalysis"
 	"securexml/internal/qfilter"
@@ -33,6 +36,29 @@ import (
 	"securexml/internal/xslt"
 	"securexml/internal/xupdate"
 )
+
+// Telemetry: session-level stages plus the per-session view cache (the
+// registry's hit rate is the leverage of caching materialized views across
+// queries within one (document version, policy epoch) window).
+var (
+	queryStage     = obs.Stage("session_query")
+	valueStage     = obs.Stage("session_query_value")
+	viewStage      = obs.Stage("session_view")
+	updateStage    = obs.Stage("session_update")
+	applyStage     = obs.Stage("session_apply")
+	transformStage = obs.Stage("session_transform")
+	xpathStage     = obs.Stage("xpath_eval")
+
+	cacheHits      = obs.Default().Counter("xmlsec_view_cache_hits_total")
+	cacheMissCold  = obs.Default().Counter("xmlsec_view_cache_misses_total", "reason", "cold")
+	cacheMissDoc   = obs.Default().Counter("xmlsec_view_cache_misses_total", "reason", "doc_version")
+	cacheMissEpoch = obs.Default().Counter("xmlsec_view_cache_misses_total", "reason", "policy_epoch")
+)
+
+// sessionOp counts one session operation by name and outcome (ok | error).
+func sessionOp(op, outcome string) {
+	obs.Default().Counter("xmlsec_session_ops_total", "op", op, "outcome", outcome).Inc()
+}
 
 // Errors returned by core operations.
 var (
@@ -295,18 +321,30 @@ type AuditEntry struct {
 	Action  string // "query", "update", "grant", ...
 	Detail  string
 	Outcome string
+	// ReqID correlates the entry with an HTTP request (X-Request-Id) and
+	// its access-log line; "" outside a request context.
+	ReqID string
+	// Duration is the wall time of the operation; 0 for administrative
+	// actions that are not timed.
+	Duration time.Duration
 }
 
 // record appends an audit entry; callers hold the write lock (or accept the
 // race on reads, which only concerns the audit trail itself). Auditing is
 // disabled with limit 0.
 func (db *Database) record(user, action, detail, outcome string) {
+	db.recordFull(user, action, detail, outcome, "", 0)
+}
+
+// recordFull is record with request correlation and timing.
+func (db *Database) recordFull(user, action, detail, outcome, reqID string, d time.Duration) {
 	if db.auditLimit == 0 {
 		return
 	}
 	db.auditSeq++
 	db.audit = append(db.audit, AuditEntry{
 		Seq: db.auditSeq, User: user, Action: action, Detail: detail, Outcome: outcome,
+		ReqID: reqID, Duration: d,
 	})
 	if len(db.audit) > db.auditLimit {
 		db.audit = db.audit[len(db.audit)-db.auditLimit:]
@@ -363,7 +401,16 @@ func (s *Session) currentView() (*view.View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cached != nil && s.cachedVer == s.db.doc.Version() && s.cachedEpoch == s.db.policyEpoch {
+		cacheHits.Inc()
 		return s.cached, nil
+	}
+	switch {
+	case s.cached == nil:
+		cacheMissCold.Inc()
+	case s.cachedVer != s.db.doc.Version():
+		cacheMissDoc.Inc()
+	default:
+		cacheMissEpoch.Inc()
 	}
 	pm, err := s.db.policy.Evaluate(s.db.doc, s.db.subjects, s.user)
 	if err != nil {
@@ -379,14 +426,32 @@ func (s *Session) currentView() (*view.View, error) {
 // document) must be treated as read-only; it is shared with the session
 // cache.
 func (s *Session) View() (*view.View, error) {
+	return s.ViewCtx(context.Background())
+}
+
+// ViewCtx is View with a request context (request ID for telemetry).
+func (s *Session) ViewCtx(ctx context.Context) (*view.View, error) {
+	sp := obs.StartSpan(viewStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	return s.currentView()
+	v, err := s.currentView()
+	sp.End()
+	if err != nil {
+		sessionOp("view", "error")
+		return nil, err
+	}
+	sessionOp("view", "ok")
+	return v, nil
 }
 
 // ViewXML serializes the user's view.
 func (s *Session) ViewXML() (string, error) {
-	v, err := s.View()
+	return s.ViewXMLCtx(context.Background())
+}
+
+// ViewXMLCtx is ViewXML with a request context.
+func (s *Session) ViewXMLCtx(ctx context.Context) (string, error) {
+	v, err := s.ViewCtx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -405,40 +470,71 @@ type Result struct {
 // Query evaluates an XPath expression against the user's view and returns
 // the matching nodes (§4.4.1: users only ever query their view).
 func (s *Session) Query(path string) ([]Result, error) {
+	return s.QueryCtx(context.Background(), path)
+}
+
+// QueryCtx is Query with a request context: the request ID (if any) is
+// threaded into the audit entry alongside the operation's duration.
+func (s *Session) QueryCtx(ctx context.Context, path string) ([]Result, error) {
+	sp := obs.StartSpan(queryStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	v, err := s.currentView()
 	if err != nil {
-		s.db.recordLocked("query", s.user, path, "error: "+err.Error())
+		sessionOp("query", "error")
+		s.db.recordCtx(ctx, "query", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
+	xe := obs.StartSpan(xpathStage)
 	ns, err := xpath.Select(v.Doc, path, s.vars())
+	xe.End()
 	if err != nil {
-		s.db.recordLocked("query", s.user, path, "error: "+err.Error())
+		sessionOp("query", "error")
+		s.db.recordCtx(ctx, "query", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
 	out := make([]Result, len(ns))
 	for i, n := range ns {
 		out[i] = Result{Kind: n.Kind(), Label: n.Label(), Path: n.Path(), Value: n.StringValue()}
 	}
-	s.db.recordLocked("query", s.user, path, fmt.Sprintf("%d nodes", len(out)))
+	sessionOp("query", "ok")
+	s.db.recordCtx(ctx, "query", s.user, path, fmt.Sprintf("%d nodes", len(out)), sp.End())
 	return out, nil
 }
 
 // QueryValue evaluates an XPath expression that may yield an atomic value
 // (count(), boolean tests, string()...) against the user's view.
 func (s *Session) QueryValue(path string) (xpath.Value, error) {
+	return s.QueryValueCtx(context.Background(), path)
+}
+
+// QueryValueCtx is QueryValue with a request context.
+func (s *Session) QueryValueCtx(ctx context.Context, path string) (xpath.Value, error) {
+	sp := obs.StartSpan(valueStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	v, err := s.currentView()
 	if err != nil {
+		sp.End()
+		sessionOp("query_value", "error")
 		return nil, err
 	}
 	c, err := xpath.Compile(path)
 	if err != nil {
+		sp.End()
+		sessionOp("query_value", "error")
 		return nil, err
 	}
-	return c.Eval(v.Doc.Root(), s.vars())
+	xe := obs.StartSpan(xpathStage)
+	val, err := c.Eval(v.Doc.Root(), s.vars())
+	xe.End()
+	sp.End()
+	if err != nil {
+		sessionOp("query_value", "error")
+		return nil, err
+	}
+	sessionOp("query_value", "ok")
+	return val, nil
 }
 
 // recordLocked appends an audit entry while holding at least the read lock.
@@ -450,10 +546,23 @@ func (db *Database) recordLocked(action, user, detail, outcome string) {
 	db.auditMu.Unlock()
 }
 
+// recordCtx is recordLocked with the context's request ID and a duration.
+func (db *Database) recordCtx(ctx context.Context, action, user, detail, outcome string, d time.Duration) {
+	db.auditMu.Lock()
+	db.recordFull(user, action, detail, outcome, obs.RequestID(ctx), d)
+	db.auditMu.Unlock()
+}
+
 // Update executes one XUpdate operation with the paper's write access
 // controls (axioms 18–25). It returns the per-node result.
 func (s *Session) Update(op *xupdate.Op) (*xupdate.Result, error) {
-	res, err := s.updateWithVars(op, nil)
+	return s.UpdateCtx(context.Background(), op)
+}
+
+// UpdateCtx is Update with a request context (request ID into the audit
+// entry, duration into the telemetry registry).
+func (s *Session) UpdateCtx(ctx context.Context, op *xupdate.Op) (*xupdate.Result, error) {
+	res, err := s.updateWithVars(ctx, op, nil)
 	if err == nil && s.db.journal != nil && res.Applied > 0 {
 		if jerr := s.journalOp(op); jerr != nil {
 			return res, fmt.Errorf("core: operation applied but journaling failed: %w", jerr)
@@ -472,16 +581,21 @@ func (s *Session) journalOp(op *xupdate.Op) error {
 	return err
 }
 
-func (s *Session) updateWithVars(op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, error) {
+func (s *Session) updateWithVars(ctx context.Context, op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, error) {
+	sp := obs.StartSpan(updateStage)
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	res, _, err := access.ExecuteWithVars(s.db.doc, s.db.subjects, s.db.policy, s.user, op, extra)
 	if err != nil {
-		s.db.record(s.user, "update", opDetail(op), "error: "+err.Error())
+		sessionOp("update", "error")
+		s.db.recordFull(s.user, "update", opDetail(op), "error: "+err.Error(),
+			obs.RequestID(ctx), sp.End())
 		return nil, err
 	}
-	s.db.record(s.user, "update", opDetail(op),
-		fmt.Sprintf("selected=%d applied=%d skipped=%d", res.Selected, res.Applied, len(res.Skipped)))
+	sessionOp("update", "ok")
+	s.db.recordFull(s.user, "update", opDetail(op),
+		fmt.Sprintf("selected=%d applied=%d skipped=%d", res.Selected, res.Applied, len(res.Skipped)),
+		obs.RequestID(ctx), sp.End())
 	return res, nil
 }
 
@@ -492,10 +606,20 @@ func (s *Session) updateWithVars(op *xupdate.Op, extra xpath.Vars) (*xupdate.Res
 // hard error; privilege refusals are not errors (they appear as skipped
 // nodes in the results).
 func (s *Session) Apply(modifications string) ([]*xupdate.Result, error) {
-	results, err := s.apply(modifications)
+	return s.ApplyCtx(context.Background(), modifications)
+}
+
+// ApplyCtx is Apply with a request context.
+func (s *Session) ApplyCtx(ctx context.Context, modifications string) ([]*xupdate.Result, error) {
+	sp := obs.StartSpan(applyStage)
+	results, err := s.apply(ctx, modifications)
 	if err != nil {
+		sp.End()
+		sessionOp("apply", "error")
 		return results, err
 	}
+	sp.End()
+	sessionOp("apply", "ok")
 	if s.db.journal != nil && anyApplied(results) {
 		if _, jerr := s.db.journal.Append(s.user, modifications); jerr != nil {
 			return results, fmt.Errorf("core: modifications applied but journaling failed: %w", jerr)
@@ -515,7 +639,7 @@ func anyApplied(results []*xupdate.Result) bool {
 
 // apply executes a modification document without journaling (used by Apply
 // and by journal replay).
-func (s *Session) apply(modifications string) ([]*xupdate.Result, error) {
+func (s *Session) apply(ctx context.Context, modifications string) ([]*xupdate.Result, error) {
 	ops, err := xupdate.ParseModificationsString(modifications)
 	if err != nil {
 		return nil, err
@@ -527,7 +651,7 @@ func (s *Session) apply(modifications string) ([]*xupdate.Result, error) {
 			if err := op.Validate(); err != nil {
 				return results, err
 			}
-			v, err := s.View()
+			v, err := s.ViewCtx(ctx)
 			if err != nil {
 				return results, err
 			}
@@ -539,7 +663,7 @@ func (s *Session) apply(modifications string) ([]*xupdate.Result, error) {
 			results = append(results, &xupdate.Result{})
 			continue
 		}
-		res, err := s.updateWithVars(op, env)
+		res, err := s.updateWithVars(ctx, op, env)
 		if err != nil {
 			return results, err
 		}
@@ -575,7 +699,7 @@ func (db *Database) ApplyAs(user, modifications string) error {
 	if err != nil {
 		return err
 	}
-	_, err = s.apply(modifications)
+	_, err = s.apply(context.Background(), modifications)
 	return err
 }
 
@@ -623,21 +747,33 @@ func (db *Database) AttachJournal(w io.Writer, seqStart uint64) {
 // document but observes only the user's authorized view (qfilter.ForPerms
 // over the axiom-14 permissions). No intermediate view is materialized.
 func (s *Session) Transform(stylesheet string) (string, error) {
+	return s.TransformCtx(context.Background(), stylesheet)
+}
+
+// TransformCtx is Transform with a request context.
+func (s *Session) TransformCtx(ctx context.Context, stylesheet string) (string, error) {
+	sp := obs.StartSpan(transformStage)
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
+		sp.End()
+		sessionOp("transform", "error")
 		return "", err
 	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	pm, err := s.db.policy.Evaluate(s.db.doc, s.db.subjects, s.user)
 	if err != nil {
+		sp.End()
+		sessionOp("transform", "error")
 		return "", err
 	}
 	out, err := sheet.TransformString(s.db.doc, s.vars(), qfilter.ForPerms(pm))
 	if err != nil {
-		s.db.recordLocked("transform", s.user, "stylesheet", "error: "+err.Error())
+		sessionOp("transform", "error")
+		s.db.recordCtx(ctx, "transform", s.user, "stylesheet", "error: "+err.Error(), sp.End())
 		return "", err
 	}
-	s.db.recordLocked("transform", s.user, "stylesheet", fmt.Sprintf("%d bytes", len(out)))
+	sessionOp("transform", "ok")
+	s.db.recordCtx(ctx, "transform", s.user, "stylesheet", fmt.Sprintf("%d bytes", len(out)), sp.End())
 	return out, nil
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"securexml/internal/obs"
+	"securexml/internal/policy"
+	"securexml/internal/xupdate"
+)
+
+// cacheCounts snapshots the view-cache counters so tests can assert on
+// deltas: the registry is process-global and other tests contribute too.
+func cacheCounts() (hits, cold, doc, epoch uint64) {
+	return cacheHits.Value(), cacheMissCold.Value(), cacheMissDoc.Value(), cacheMissEpoch.Value()
+}
+
+// TestViewCacheCounters walks the session cache through its four outcomes —
+// cold miss, hit, doc-version miss after a write, policy-epoch miss after a
+// grant — and asserts exactly one counter moves each time.
+func TestViewCacheCounters(t *testing.T) {
+	db := hospital(t)
+	s := session(t, db, "laporte")
+
+	h0, c0, d0, e0 := cacheCounts()
+	if _, err := s.Query("//diagnosis"); err != nil {
+		t.Fatal(err)
+	}
+	h1, c1, d1, e1 := cacheCounts()
+	if c1 != c0+1 || h1 != h0 || d1 != d0 || e1 != e0 {
+		t.Errorf("first query: want one cold miss, got hits+%d cold+%d doc+%d epoch+%d",
+			h1-h0, c1-c0, d1-d0, e1-e0)
+	}
+
+	// Same session, nothing changed: pure hit.
+	if _, err := s.Query("//service"); err != nil {
+		t.Fatal(err)
+	}
+	h2, c2, d2, e2 := cacheCounts()
+	if h2 != h1+1 || c2 != c1 || d2 != d1 || e2 != e1 {
+		t.Errorf("repeat query: want one hit, got hits+%d cold+%d doc+%d epoch+%d",
+			h2-h1, c2-c1, d2-d1, e2-e1)
+	}
+
+	// An applied update bumps the document version. The update itself goes
+	// through the secured pipeline (its own view use), so assert only that
+	// the *next read* is a doc_version miss.
+	if _, err := s.Update(&xupdate.Op{
+		Kind:     xupdate.Update,
+		Select:   "/patients/franck/diagnosis",
+		NewValue: "pharyngitis",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h3, _, d3, e3 := cacheCounts()
+	if _, err := s.Query("//diagnosis"); err != nil {
+		t.Fatal(err)
+	}
+	h4, _, d4, e4 := cacheCounts()
+	if d4 != d3+1 || h4 != h3 || e4 != e3 {
+		t.Errorf("query after write: want one doc_version miss, got hits+%d doc+%d epoch+%d",
+			h4-h3, d4-d3, e4-e3)
+	}
+
+	// A grant bumps the policy epoch without touching the document.
+	if err := db.Grant(policy.Read, "//service", "patient"); err != nil {
+		t.Fatal(err)
+	}
+	h5, _, d5, e5 := cacheCounts()
+	if _, err := s.Query("//diagnosis"); err != nil {
+		t.Fatal(err)
+	}
+	h6, _, d6, e6 := cacheCounts()
+	if e6 != e5+1 || h6 != h5 || d6 != d5 {
+		t.Errorf("query after grant: want one policy_epoch miss, got hits+%d doc+%d epoch+%d",
+			h6-h5, d6-d5, e6-e5)
+	}
+}
+
+// TestAuditCarriesRequestID asserts the observability contract on the audit
+// stream: entries record the request id from the context and a measured
+// duration.
+func TestAuditCarriesRequestID(t *testing.T) {
+	db := hospital(t)
+	s := session(t, db, "laporte")
+	ctx := obs.WithRequestID(context.Background(), "req-telemetry-1")
+	if _, err := s.QueryCtx(ctx, "//diagnosis"); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range db.Audit() {
+		if e.ReqID == "req-telemetry-1" {
+			found = true
+			if e.Action != "query" {
+				t.Errorf("Action = %q, want query", e.Action)
+			}
+			if e.Duration <= 0 {
+				t.Errorf("Duration = %v, want > 0", e.Duration)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no audit entry carries the request id")
+	}
+	// Context-free calls still audit, with an empty ReqID.
+	if _, err := s.Query("//service"); err != nil {
+		t.Fatal(err)
+	}
+	last := db.Audit()[len(db.Audit())-1]
+	if last.ReqID != "" {
+		t.Errorf("context-free query ReqID = %q, want empty", last.ReqID)
+	}
+	if last.Duration <= 0 {
+		t.Errorf("context-free query Duration = %v, want > 0", last.Duration)
+	}
+}

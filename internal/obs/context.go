@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+type reqIDKey struct{}
+
+// WithRequestID returns ctx carrying the request ID. An empty id returns
+// ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+var (
+	procEpoch = uint64(time.Now().UnixNano())
+	reqSeq    atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request identifier: a per-process
+// epoch prefix plus a monotonic sequence number.
+func NewRequestID() string {
+	return strconv.FormatUint(procEpoch&0xffffffff, 16) + "-" +
+		strconv.FormatUint(reqSeq.Add(1), 16)
+}
+
+// Span times one stage of a request into a histogram.
+type Span struct {
+	hist  *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing against h (which may be nil for a plain timer).
+func StartSpan(h *Histogram) Span { return Span{hist: h, start: time.Now()} }
+
+// End stops the span, records the duration and returns it. Safe to call
+// multiple times; every call records.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.ObserveDuration(d)
+	}
+	return d
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (version 0.0.4): metrics sorted by name with # HELP / # TYPE
+// headers, series sorted by label rendering, histograms as cumulative
+// _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	byName := make(map[string][]*series)
+	for _, s := range r.series {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		sort.Slice(group, func(i, j int) bool { return group[i].id < group[j].id })
+		if h := help[name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, group[0].kind); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", s.id, s.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", s.id, s.gauge.Value())
+		return err
+	default:
+		h := s.hist
+		var cum uint64
+		counts := h.BucketCounts()
+		for i, upper := range h.uppers {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.name, labelString(s.labels, "le", formatFloat(upper)), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.name, labelString(s.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			s.name, labelString(s.labels, "", ""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			s.name, labelString(s.labels, "", ""), h.Count())
+		return err
+	}
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// CounterSnap is one counter series in a Snapshot.
+type CounterSnap struct {
+	ID     string            `json:"id"`
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+// GaugeSnap is one gauge series in a Snapshot.
+type GaugeSnap struct {
+	ID     string            `json:"id"`
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistogramSnap is one histogram series in a Snapshot, with estimated
+// quantiles (same units as the observations; seconds for stage timings).
+type HistogramSnap struct {
+	ID     string            `json:"id"`
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    float64           `json:"sum"`
+	P50    float64           `json:"p50"`
+	P95    float64           `json:"p95"`
+	P99    float64           `json:"p99"`
+}
+
+// Snapshot is a structured point-in-time copy of a registry, ordered by
+// series id. It is what the bench harness serializes and what /debug/vars
+// exposes.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot captures every series.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	snap := &Snapshot{}
+	for _, s := range all {
+		switch s.kind {
+		case kindCounter:
+			snap.Counters = append(snap.Counters, CounterSnap{
+				ID: s.id, Name: s.name, Labels: labelMap(s.labels), Value: s.counter.Value(),
+			})
+		case kindGauge:
+			snap.Gauges = append(snap.Gauges, GaugeSnap{
+				ID: s.id, Name: s.name, Labels: labelMap(s.labels), Value: s.gauge.Value(),
+			})
+		default:
+			h := s.hist
+			snap.Histograms = append(snap.Histograms, HistogramSnap{
+				ID: s.id, Name: s.name, Labels: labelMap(s.labels),
+				Count: h.Count(), Sum: h.Sum(),
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			})
+		}
+	}
+	return snap
+}
+
+func labelMap(labels []string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return m
+}
+
+// PublishExpvar publishes the registry's Snapshot under the given expvar
+// name (served on GET /debug/vars). Safe to call repeatedly; only the first
+// call per registry publishes.
+func (r *Registry) PublishExpvar(name string) {
+	r.expvarOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

@@ -16,10 +16,41 @@ import (
 	"sort"
 	"strings"
 
+	"securexml/internal/obs"
 	"securexml/internal/subject"
 	"securexml/internal/xmltree"
 	"securexml/internal/xpath"
 )
+
+// Telemetry: every perm(s, n, r) lookup is one access-control decision
+// (axiom 14); the counters split allow/deny per privilege. Handles are
+// resolved once so the hot path (two map hits per node during view
+// materialization) stays a single atomic increment.
+var (
+	evalStage       = obs.Stage("policy_evaluate")
+	ruleEvals       = obs.Default().Counter("xmlsec_policy_rule_evals_total")
+	decisionCounter = func() (d [numPrivileges][2]*obs.Counter) {
+		for _, p := range Privileges {
+			d[p][0] = obs.Default().Counter("xmlsec_policy_decisions_total",
+				"privilege", p.String(), "effect", "deny")
+			d[p][1] = obs.Default().Counter("xmlsec_policy_decisions_total",
+				"privilege", p.String(), "effect", "allow")
+		}
+		return
+	}()
+)
+
+// countDecision records one allow/deny decision for priv.
+func countDecision(priv Privilege, allowed bool) {
+	if priv < 0 || priv >= numPrivileges {
+		return
+	}
+	if allowed {
+		decisionCounter[priv][1].Inc()
+	} else {
+		decisionCounter[priv][0].Inc()
+	}
+}
 
 // Privilege is one of the five privileges of §4.3.
 type Privilege int
@@ -202,12 +233,14 @@ func (pm *Perms) DocVersion() uint64 { return pm.version }
 
 // Has reports perm(user, n, priv).
 func (pm *Perms) Has(n *xmltree.Node, priv Privilege) bool {
-	return pm.grants[n.ID().String()]&(1<<uint(priv)) != 0
+	return pm.HasID(n.ID().String(), priv)
 }
 
 // HasID reports perm(user, id, priv) by node identifier.
 func (pm *Perms) HasID(id string, priv Privilege) bool {
-	return pm.grants[id]&(1<<uint(priv)) != 0
+	ok := pm.grants[id]&(1<<uint(priv)) != 0
+	countDecision(priv, ok)
+	return ok
 }
 
 // Evaluate computes the perm relation for user on doc, per axiom 14:
@@ -220,6 +253,7 @@ func (pm *Perms) HasID(id string, priv Privilege) bool {
 // one with the greatest priority is an accept. Rule paths are evaluated on
 // the source document with $USER bound to the user's login.
 func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user string) (*Perms, error) {
+	defer obs.StartSpan(evalStage).End()
 	pm := &Perms{user: user, version: doc.Version(), grants: make(map[string]uint8)}
 	// latest[nodeID][priv] = priority of the latest applicable rule; sign
 	// tracked separately via accepts bitmask updates below.
@@ -234,6 +268,7 @@ func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user stri
 			continue
 		}
 		ns, err := r.compiled.Select(doc.Root(), vars)
+		ruleEvals.Inc()
 		if err != nil {
 			return nil, fmt.Errorf("policy: evaluating %s: %w", r, err)
 		}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"securexml/internal/access"
+	"securexml/internal/core"
+	"securexml/internal/xpath"
+)
+
+func TestRequestIDHeaderAndErrorBody(t *testing.T) {
+	ts := testServer(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/query?xpath="+urlEscape("//["), nil)
+	req.SetBasicAuth("laporte", "")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("missing X-Request-Id header")
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if !strings.Contains(body.String(), "(request "+id+")") {
+		t.Errorf("error body does not carry the request id %q:\n%s", id, body.String())
+	}
+	// IDs are unique per request.
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id2 := resp2.Header.Get("X-Request-Id"); id2 == "" || id2 == id {
+		t.Errorf("request ids must be unique: %q then %q", id, id2)
+	}
+}
+
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		err      error
+		fallback int
+		want     int
+	}{
+		{fmt.Errorf("wrap: %w", core.ErrUnknownUser), 500, http.StatusForbidden},
+		{fmt.Errorf("wrap: %w", core.ErrNotUser), 500, http.StatusForbidden},
+		{fmt.Errorf("wrap: %w", access.ErrUnknownUser), 400, http.StatusForbidden},
+		{&xpath.SyntaxError{Expr: "//[", Pos: 2, Msg: "boom"}, 500, http.StatusBadRequest},
+		{fmt.Errorf("policy: %w", xpath.ErrNotNodeSet), 500, http.StatusBadRequest},
+		{errors.New("disk on fire"), 500, http.StatusInternalServerError},
+		{errors.New("disk on fire"), 400, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err, c.fallback); got != c.want {
+			t.Errorf("statusFor(%v, %d) = %d, want %d", c.err, c.fallback, got, c.want)
+		}
+	}
+}
+
+// TestViewErrorMapping drives a real pipeline failure through /view: a rule
+// whose path evaluates to an atomic value makes policy evaluation fail with
+// an XPath type error, which must surface as 400, not 500.
+func TestViewErrorMapping(t *testing.T) {
+	ts := testServer(t)
+	// Reach into a fresh server with a broken rule.
+	db := core.New()
+	for _, err := range []error{
+		db.LoadXMLString(medXML),
+		db.AddRole("staff"),
+		db.AddUser("eve", "staff"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Grant(0, "count(//diagnosis)", "staff"); err != nil {
+		t.Fatal(err)
+	}
+	broken := httptest.NewServer(New(db))
+	defer broken.Close()
+	code, body := get(t, broken, "eve", "/view")
+	if code != http.StatusBadRequest {
+		t.Errorf("/view with non-nodeset rule -> %d, want 400: %s", code, body)
+	}
+	// The healthy server still serves 200.
+	if code, _ := get(t, ts, "laporte", "/view"); code != http.StatusOK {
+		t.Errorf("healthy /view -> %d", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// Generate traffic across status classes and a write.
+	get(t, ts, "laporte", "/view")
+	get(t, ts, "laporte", "/query?xpath="+urlEscape("//diagnosis"))
+	get(t, ts, "laporte", "/query?xpath="+urlEscape("//["))
+	post(t, ts, "laporte", "/update", `<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:update select="/patients/franck/diagnosis">pharyngitis</xupdate:update>
+	</xupdate:modifications>`)
+
+	code, body := get(t, ts, "", "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics -> %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE xmlsec_http_requests_total counter",
+		`xmlsec_http_requests_total{endpoint="view",status="2xx"}`,
+		`xmlsec_http_requests_total{endpoint="query",status="4xx"}`,
+		"# TYPE xmlsec_http_request_duration_seconds histogram",
+		`xmlsec_http_request_duration_seconds_count{endpoint="query"}`,
+		"# TYPE xmlsec_stage_duration_seconds histogram",
+		`xmlsec_stage_duration_seconds_count{stage="view_materialize"}`,
+		`xmlsec_stage_duration_seconds_bucket{stage="xpath_eval",le="+Inf"}`,
+		`xmlsec_stage_duration_seconds_count{stage="xupdate_apply"}`,
+		"xmlsec_view_cache_hits_total",
+		`xmlsec_view_cache_misses_total{reason="cold"}`,
+		`xmlsec_policy_decisions_total{effect="allow",privilege="read"}`,
+		`xmlsec_policy_decisions_total{effect="deny",privilege="update"}`,
+		`xmlsec_session_ops_total{op="query",outcome="ok"}`,
+		`xmlsec_xupdate_ops_total{kind="update",outcome="applied"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Exposition sanity: every non-comment line is "series value".
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	ts := testServer(t)
+	get(t, ts, "laporte", "/view")
+	code, body := get(t, ts, "", "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars -> %d", code)
+	}
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if _, ok := payload["xmlsec"]; !ok {
+		t.Error("/debug/vars missing the xmlsec registry snapshot")
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	ts := testServer(t) // default: pprof off
+	code, _ := get(t, ts, "", "/debug/pprof/")
+	if code != http.StatusNotFound {
+		t.Errorf("pprof must be off by default, got %d", code)
+	}
+	db := core.New()
+	if err := db.LoadXMLString(medXML); err != nil {
+		t.Fatal(err)
+	}
+	on := httptest.NewServer(New(db, WithPprof()))
+	defer on.Close()
+	code, body := get(t, on, "", "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("pprof with WithPprof -> %d", code)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	db := core.New()
+	for _, err := range []error{
+		db.LoadXMLString(medXML),
+		db.AddRole("staff"),
+		db.AddUser("eve", "staff"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	ts := httptest.NewServer(New(db, WithAccessLog(&buf)))
+	defer ts.Close()
+	_, _ = get(t, ts, "eve", "/query?xpath="+urlEscape("//diagnosis"))
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no access-log line emitted")
+	}
+	var entry struct {
+		ReqID      string `json:"req_id"`
+		User       string `json:"user"`
+		Endpoint   string `json:"endpoint"`
+		Status     int    `json:"status"`
+		DurationUS int64  `json:"duration_us"`
+	}
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log is not JSON: %v\n%s", err, line)
+	}
+	if entry.ReqID == "" || entry.User != "eve" || entry.Endpoint != "query" || entry.Status != 200 {
+		t.Errorf("access log entry wrong: %+v", entry)
+	}
+	// The audit entry for the same request carries the same request id and
+	// a measured duration — the correlation the issue asks for.
+	found := false
+	for _, e := range db.Audit() {
+		if e.ReqID == entry.ReqID {
+			found = true
+			if e.Action != "query" || e.Duration <= 0 {
+				t.Errorf("correlated audit entry wrong: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no audit entry with req id %q", entry.ReqID)
+	}
+}

@@ -15,17 +15,30 @@
 //	POST /transform               an XSLT stylesheet, run as the user (§5)
 //	GET  /analyze                 static policy analysis (JSON; ?format=text)
 //	GET  /healthz                 liveness, database stats
+//	GET  /metrics                 telemetry registry, Prometheus text format
+//	GET  /debug/vars              telemetry snapshot + runtime stats (expvar)
+//	GET  /debug/pprof/...         profiling (only with WithPprof)
+//
+// Every request is assigned an X-Request-Id, carried through the session
+// context into the database audit log, and (with WithAccessLog) emitted as
+// one structured JSON access-log line.
 package server
 
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
+	"securexml/internal/access"
 	"securexml/internal/core"
+	"securexml/internal/obs"
+	"securexml/internal/xpath"
 )
 
 // maxBody bounds update request bodies (1 MiB).
@@ -33,20 +46,57 @@ const maxBody = 1 << 20
 
 // Server is an http.Handler over one Database.
 type Server struct {
-	db  *core.Database
-	mux *http.ServeMux
+	db        *core.Database
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	accessLog *slog.Logger
+	pprof     bool
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiles expose internals and should be an explicit operator decision.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithAccessLog emits one structured JSON line per request (request ID,
+// user, endpoint, status, duration) to w.
+func WithAccessLog(w io.Writer) Option {
+	return func(s *Server) {
+		s.accessLog = slog.New(slog.NewJSONHandler(w, nil))
+	}
 }
 
 // New builds the handler.
-func New(db *core.Database) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /view", s.withSession(s.handleView))
-	s.mux.HandleFunc("GET /query", s.withSession(s.handleQuery))
-	s.mux.HandleFunc("GET /value", s.withSession(s.handleValue))
-	s.mux.HandleFunc("POST /update", s.withSession(s.handleUpdate))
-	s.mux.HandleFunc("POST /transform", s.withSession(s.handleTransform))
-	s.mux.HandleFunc("GET /analyze", s.withSession(s.handleAnalyze))
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+func New(db *core.Database, opts ...Option) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), reg: obs.Default()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.reg.Help("xmlsec_http_requests_total", "HTTP requests by endpoint and status class.")
+	s.reg.Help("xmlsec_http_request_duration_seconds", "HTTP request latency by endpoint.")
+	s.reg.Help(obs.StageMetric, "Access-control pipeline stage latency.")
+	s.reg.PublishExpvar("xmlsec")
+
+	s.handle("GET /view", "view", s.withSession(s.handleView))
+	s.handle("GET /query", "query", s.withSession(s.handleQuery))
+	s.handle("GET /value", "value", s.withSession(s.handleValue))
+	s.handle("POST /update", "update", s.withSession(s.handleUpdate))
+	s.handle("POST /transform", "transform", s.withSession(s.handleTransform))
+	s.handle("GET /analyze", "analyze", s.withSession(s.handleAnalyze))
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -55,22 +105,99 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// withSession resolves the request user into a database session.
+// handle mounts h behind the telemetry middleware: request ID generation
+// (X-Request-Id response header + context), status capture, per-endpoint
+// request counters by status class, latency histogram, in-flight gauge and
+// the structured access log.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	inFlight := s.reg.Gauge("xmlsec_http_in_flight")
+	hist := s.reg.Histogram("xmlsec_http_request_duration_seconds", obs.LatencyBuckets,
+		"endpoint", endpoint)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		reqID := obs.NewRequestID()
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		w.Header().Set("X-Request-Id", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		inFlight.Add(1)
+		sp := obs.StartSpan(hist)
+		h(rec, r)
+		d := sp.End()
+		inFlight.Add(-1)
+		class := fmt.Sprintf("%dxx", rec.status/100)
+		s.reg.Counter("xmlsec_http_requests_total",
+			"endpoint", endpoint, "status", class).Inc()
+		if s.accessLog != nil {
+			user, _, _ := r.BasicAuth()
+			s.accessLog.Info("request",
+				"req_id", reqID,
+				"user", user,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"endpoint", endpoint,
+				"status", rec.status,
+				"duration_us", d.Microseconds(),
+			)
+		}
+	})
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// httpError writes err with the request ID appended, so a client-side
+// report can be correlated with the audit log and access log.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error, status int) {
+	msg := err.Error()
+	if id := obs.RequestID(r.Context()); id != "" {
+		msg += " (request " + id + ")"
+	}
+	http.Error(w, msg, status)
+}
+
+// statusFor maps a pipeline error to an HTTP status: identity and policy
+// denials are 403, XPath grammar/type errors are the client's fault (400),
+// anything else falls back to fallback.
+func statusFor(err error, fallback int) int {
+	var syn *xpath.SyntaxError
+	switch {
+	case errors.Is(err, core.ErrUnknownUser),
+		errors.Is(err, core.ErrNotUser),
+		errors.Is(err, access.ErrUnknownUser):
+		return http.StatusForbidden
+	case errors.As(err, &syn), errors.Is(err, xpath.ErrNotNodeSet):
+		return http.StatusBadRequest
+	}
+	return fallback
+}
+
+// withSession resolves the request user into a database session. The
+// middleware in handle has already assigned the request ID; if the handler
+// is mounted bare (tests), one is generated here so error bodies and audit
+// entries stay correlatable.
 func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *core.Session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if obs.RequestID(r.Context()) == "" {
+			reqID := obs.NewRequestID()
+			r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+			w.Header().Set("X-Request-Id", reqID)
+		}
 		user, _, ok := r.BasicAuth()
 		if !ok || user == "" {
 			w.Header().Set("WWW-Authenticate", `Basic realm="securexml"`)
-			http.Error(w, "authentication required", http.StatusUnauthorized)
+			s.httpError(w, r, errors.New("authentication required"), http.StatusUnauthorized)
 			return
 		}
 		session, err := s.db.Session(user)
 		if err != nil {
-			if errors.Is(err, core.ErrUnknownUser) || errors.Is(err, core.ErrNotUser) {
-				http.Error(w, err.Error(), http.StatusForbidden)
-				return
-			}
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.httpError(w, r, err, statusFor(err, http.StatusInternalServerError))
 			return
 		}
 		h(w, r, session)
@@ -78,9 +205,9 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *core.Se
 }
 
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request, session *core.Session) {
-	xml, err := session.ViewXML()
+	xml, err := session.ViewXMLCtx(r.Context())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(w, r, err, statusFor(err, http.StatusInternalServerError))
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
@@ -90,12 +217,12 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request, session *cor
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, session *core.Session) {
 	expr := r.URL.Query().Get("xpath")
 	if expr == "" {
-		http.Error(w, "missing xpath parameter", http.StatusBadRequest)
+		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
 		return
 	}
-	results, err := session.Query(expr)
+	results, err := session.QueryCtx(r.Context(), expr)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -107,12 +234,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, session *co
 func (s *Server) handleValue(w http.ResponseWriter, r *http.Request, session *core.Session) {
 	expr := r.URL.Query().Get("xpath")
 	if expr == "" {
-		http.Error(w, "missing xpath parameter", http.StatusBadRequest)
+		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
 		return
 	}
-	v, err := session.QueryValue(expr)
+	v, err := session.QueryValueCtx(r.Context(), expr)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -122,17 +249,17 @@ func (s *Server) handleValue(w http.ResponseWriter, r *http.Request, session *co
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, session *core.Session) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	if len(body) > maxBody {
-		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		s.httpError(w, r, errors.New("request body too large"), http.StatusRequestEntityTooLarge)
 		return
 	}
-	results, err := session.Apply(string(body))
+	results, err := session.ApplyCtx(r.Context(), string(body))
 	if err != nil {
 		// Parse errors and hard failures; privilege refusals are not errors.
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -148,16 +275,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, session *c
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request, session *core.Session) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	if len(body) > maxBody {
-		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		s.httpError(w, r, errors.New("request body too large"), http.StatusRequestEntityTooLarge)
 		return
 	}
-	out, err := session.Transform(string(body))
+	out, err := session.TransformCtx(r.Context(), string(body))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
@@ -173,7 +300,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, _ *core.S
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if err := json.NewEncoder(w).Encode(rep); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(w, r, err, http.StatusInternalServerError)
 	}
 }
 
@@ -182,4 +309,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "ok nodes=%d rules=%d users=%d roles=%d version=%d\n",
 		st.Nodes, st.Rules, st.Users, st.Roles, st.DocVersion)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }

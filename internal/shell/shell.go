@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"securexml/internal/core"
+	"securexml/internal/obs"
 	"securexml/internal/policy"
 	"securexml/internal/xmltree"
 	"securexml/internal/xupdate"
@@ -70,6 +71,37 @@ func (sh *Shell) printf(format string, args ...any) {
 	fmt.Fprintf(sh.out, format, args...)
 }
 
+// printTelemetry appends the process-wide observability snapshot to the
+// stats output: view-cache effectiveness, per-op session counters, and
+// per-stage latency quantiles.
+func (sh *Shell) printTelemetry() {
+	snap := obs.Default().Snapshot()
+	var hits, misses uint64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "xmlsec_view_cache_hits_total":
+			hits += c.Value
+		case "xmlsec_view_cache_misses_total":
+			misses += c.Value
+		}
+	}
+	if hits+misses > 0 {
+		sh.printf("view-cache: hits=%d misses=%d hit-rate=%.2f\n",
+			hits, misses, float64(hits)/float64(hits+misses))
+	}
+	for _, c := range snap.Counters {
+		if c.Name == "xmlsec_session_ops_total" && c.Value > 0 {
+			sh.printf("session-op: %s %s=%d\n", c.Labels["op"], c.Labels["outcome"], c.Value)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == obs.StageMetric && h.Count > 0 {
+			sh.printf("stage %-18s count=%-6d p50=%.6fs p95=%.6fs p99=%.6fs\n",
+				h.Labels["stage"], h.Count, h.P50, h.P95, h.P99)
+		}
+	}
+}
+
 // Execute runs one command line. Returned errors are user-facing (bad
 // command, refused operation, unreadable file); the shell state stays
 // consistent either way.
@@ -117,6 +149,7 @@ func (sh *Shell) Execute(line string) error {
 		st := sh.db.Stats()
 		sh.printf("nodes=%d rules=%d users=%d roles=%d doc-version=%d policy-epoch=%d\n",
 			st.Nodes, st.Rules, st.Users, st.Roles, st.DocVersion, st.PolicyEpoch)
+		sh.printTelemetry()
 		return nil
 	case "source":
 		sh.printf("%s\n", sh.db.SourceXML())

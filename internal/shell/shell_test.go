@@ -130,6 +130,29 @@ func TestAdminCommands(t *testing.T) {
 	}
 }
 
+// TestStatsTelemetry exercises the pipeline and asserts stats reports the
+// observability snapshot: cache effectiveness, session-op counters and
+// per-stage latency quantiles.
+func TestStatsTelemetry(t *testing.T) {
+	out := run(t,
+		"login laporte",
+		"query //diagnosis",
+		"query //diagnosis",
+		"stats",
+	)
+	for _, want := range []string{
+		"view-cache: hits=",
+		"hit-rate=",
+		"session-op: query ok=",
+		"view_materialize",
+		"p95=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats telemetry missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSaveOpenCycle(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "db.sxml")

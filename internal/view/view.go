@@ -19,8 +19,19 @@ package view
 
 import (
 	"securexml/internal/labeling"
+	"securexml/internal/obs"
 	"securexml/internal/policy"
 	"securexml/internal/xmltree"
+)
+
+// Telemetry: materialization is the dominant cost of the read path (axioms
+// 15–17), so every derivation records its duration and node accounting.
+var (
+	matStage      = obs.Stage("view_materialize")
+	matTotal      = obs.Default().Counter("xmlsec_view_materializations_total")
+	matNodes      = obs.Default().Counter("xmlsec_view_nodes_total")
+	matRestricted = obs.Default().Counter("xmlsec_view_restricted_total")
+	matHidden     = obs.Default().Counter("xmlsec_view_hidden_total")
 )
 
 // View is a user's authorized view of a source document.
@@ -41,12 +52,18 @@ type View struct {
 // Materialize derives the view of src for the user whose permissions are pm
 // (axioms 15–17).
 func Materialize(src *xmltree.Document, pm *policy.Perms) *View {
+	sp := obs.StartSpan(matStage)
 	v := &View{
 		Doc:           xmltree.New(src.Scheme()),
 		User:          pm.User(),
 		SourceVersion: src.Version(),
 	}
 	copySelected(v, pm, src.Root(), v.Doc.Root())
+	sp.End()
+	matTotal.Inc()
+	matNodes.Add(uint64(v.Doc.Len()))
+	matRestricted.Add(uint64(v.Restricted))
+	matHidden.Add(uint64(v.Hidden))
 	return v
 }
 

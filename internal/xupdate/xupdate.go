@@ -15,9 +15,17 @@ import (
 	"errors"
 	"fmt"
 
+	"strings"
+
+	"securexml/internal/obs"
 	"securexml/internal/xmltree"
 	"securexml/internal/xpath"
 )
+
+// Telemetry: the unsecured executor (axioms 2–9) records its own stage and
+// per-kind counters, so baselines and the secured path (internal/access)
+// stay distinguishable in the registry.
+var execStage = obs.Stage("xupdate_exec")
 
 // Kind enumerates the XUpdate operations.
 type Kind int
@@ -154,11 +162,16 @@ func Execute(doc *xmltree.Document, op *Op, vars xpath.Vars) (*Result, error) {
 		return nil, fmt.Errorf("xupdate: evaluating select path: %w", err)
 	}
 	res := &Result{Selected: len(sel)}
+	sp := obs.StartSpan(execStage)
 	for _, n := range sel {
 		if err := applyOne(doc, run, n, res); err != nil {
+			sp.End()
 			return nil, err
 		}
 	}
+	sp.End()
+	obs.Default().Counter("xmlsec_xupdate_unsecured_ops_total",
+		"kind", strings.TrimPrefix(op.Kind.String(), "xupdate:")).Inc()
 	return res, nil
 }
 
