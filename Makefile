@@ -1,22 +1,28 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all verify lint race fuzz bench-smoke
+.PHONY: all verify vet lint race fuzz bench-smoke
 
-all: verify lint
+all: verify vet lint
 
 # Tier-1 gate: everything builds, every test passes.
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Static hygiene: vet, formatting, and the policy analyzer's self-check on
-# the paper's 12-rule policy (must report zero findings and exit 0).
-lint:
+# Source-level invariant gate: go vet, formatting, and the four
+# xmlsec-vet passes (viewbypass, privconst, obslabel, ctxflow) under the
+# committed baseline — see DESIGN.md S22 for the axiom mapping.
+vet:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
+	$(GO) run ./cmd/xmlsec-vet -baseline vet-baseline.json
+
+# Policy-level analysis: the static policy analyzer's self-check on the
+# paper's 12-rule policy (must report zero findings and exit 0).
+lint:
 	$(GO) run ./cmd/xmlsec-lint -paper
 
 # Concurrency gate: the full suite under the race detector, including the

@@ -21,6 +21,7 @@ import (
 
 	"securexml/internal/access"
 	"securexml/internal/baseline"
+	"securexml/internal/core"
 	"securexml/internal/logicmodel"
 	"securexml/internal/policy"
 	"securexml/internal/qfilter"
@@ -177,14 +178,12 @@ func runExample(name string) error {
 		return xupdateExample("§3.4.1 xupdate:update — franck's diagnosis becomes pharyngitis",
 			&xupdate.Op{Kind: xupdate.Update, Select: "/patients/franck/diagnosis", NewValue: "pharyngitis"})
 	case "append":
-		frag, err := xmltree.ParseString(
-			"<albert><service>cardiology</service><diagnosis/></albert>",
-			xmltree.ParseOptions{Fragment: true})
+		op, err := xupdate.NewOp(xupdate.Append, "/patients",
+			"<albert><service>cardiology</service><diagnosis/></albert>")
 		if err != nil {
 			return err
 		}
-		return xupdateExample("§3.4.2 xupdate:append — albert's record under /patients",
-			&xupdate.Op{Kind: xupdate.Append, Select: "/patients", Content: frag})
+		return xupdateExample("§3.4.2 xupdate:append — albert's record under /patients", op)
 	case "remove":
 		return xupdateExample("§3.4.3 xupdate:remove — franck's diagnosis subtree",
 			&xupdate.Op{Kind: xupdate.Remove, Select: "/patients/franck/diagnosis"})
@@ -205,22 +204,38 @@ func runExample(name string) error {
 	}
 }
 
+// xupdateExample demonstrates the §3.4 operations through a core session
+// under a fully-privileged "editor" user: on a view that shows every node,
+// the secured semantics of axioms 18–25 reduce to the unsecured axioms
+// 2–9, so the output matches the paper while the write stays mediated.
 func xupdateExample(title string, op *xupdate.Op) error {
 	header(title)
-	d, err := xmltree.ParseString(medXML, xmltree.ParseOptions{})
+	db := core.New()
+	if err := db.LoadXMLString(medXML); err != nil {
+		return err
+	}
+	if err := db.AddUser("editor"); err != nil {
+		return err
+	}
+	for _, priv := range policy.Privileges {
+		if err := db.Grant(priv, "/descendant-or-self::node()", "editor"); err != nil {
+			return err
+		}
+	}
+	s, err := db.Session("editor")
 	if err != nil {
 		return err
 	}
 	fmt.Println("Before:")
-	fmt.Print(d.Sketch())
-	res, err := xupdate.Execute(d, op, nil)
+	fmt.Print(db.SourceSketch())
+	res, err := s.Update(op)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\n%s select=%s: selected=%d applied=%d created=%d removed=%d\n",
 		op.Kind, op.Select, res.Selected, res.Applied, res.Created, res.Removed)
 	fmt.Println("\nAfter (identifiers of surviving nodes unchanged — §3.1):")
-	fmt.Print(d.Sketch())
+	fmt.Print(db.SourceSketch())
 	return nil
 }
 

@@ -72,9 +72,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asJSON {
+		// -json emits the canonical findings schema shared with xmlsec-vet
+		// (internal/findings), not the internal policyanalysis report shape.
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := enc.Encode(rep.Canonical()); err != nil {
 			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
 			return 3
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"securexml/internal/core"
+	"securexml/internal/findings"
 	"securexml/internal/policy"
 )
 
@@ -110,6 +111,37 @@ func TestBrokenSnapshotWarnsAndExitsOne(t *testing.T) {
 	}
 	if !codes["dead-rule"] || !codes["conflict-overlap"] {
 		t.Errorf("findings: %+v", rep.Findings)
+	}
+}
+
+// TestJSONIsCanonicalFindingsSchema asserts -json emits exactly the shared
+// findings schema (internal/findings) that xmlsec-vet also emits: the
+// output strict-decodes into findings.Report with no unknown fields.
+func TestJSONIsCanonicalFindingsSchema(t *testing.T) {
+	path := snapshotWith(t, policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read,
+		Path: "//diagnosis/node()", Subject: "secretary", Priority: 22,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep findings.Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("output is not the canonical findings schema: %v\n%s", err, out.String())
+	}
+	if rep.Tool != "xmlsec-lint" {
+		t.Errorf("tool = %q, want xmlsec-lint", rep.Tool)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, f := range rep.Findings {
+		if f.Tool != "xmlsec-lint" || f.Pass != "policy" || f.Code == "" || f.Rule == "" {
+			t.Errorf("finding missing canonical anchors: %+v", f)
+		}
 	}
 }
 

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"securexml/internal/findings"
+	"securexml/internal/srcanalysis"
+)
+
+// TestJSONIsCanonicalFindingsSchema proves -json emits exactly the shared
+// internal/findings report schema (the same one xmlsec-lint emits): a
+// strict decode with unknown fields disallowed must round-trip. The scan
+// runs with an empty baseline so the report carries real findings — the
+// intentionally unsecured demo call sites.
+func TestJSONIsCanonicalFindingsSchema(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", "-baseline", "no-such-baseline.json"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep findings.Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("output is not the canonical findings schema: %v\n%s", err, out.String())
+	}
+	if rep.Tool != "xmlsec-vet" {
+		t.Errorf("tool = %q, want xmlsec-vet", rep.Tool)
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("expected findings without the committed baseline")
+	}
+	for _, f := range rep.Findings {
+		if f.Tool != "xmlsec-vet" || f.Pass == "" || f.Code == "" || f.Pos == "" {
+			t.Errorf("finding missing anchors: %+v", f)
+		}
+	}
+}
+
+// TestCommittedBaselineClean proves the repo scan is clean under the
+// committed vet-baseline.json — the exact invariant make vet gates CI on.
+func TestCommittedBaselineClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../.."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no findings") {
+		t.Errorf("unexpected report: %s", out.String())
+	}
+}
+
+// TestListAndErrors covers -list and the usage/selection error paths.
+func TestListAndErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range srcanalysis.Passes() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing pass %q", name)
+		}
+	}
+	if code := run([]string{"-C", "../..", "-passes", "nosuchpass"}, &out, &errb); code != 3 {
+		t.Errorf("unknown pass exit code = %d, want 3", code)
+	}
+	if code := run([]string{"stray-arg"}, &out, &errb); code != 3 {
+		t.Errorf("stray argument exit code = %d, want 3", code)
+	}
+}

@@ -24,7 +24,6 @@ package access
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"securexml/internal/obs"
 	"securexml/internal/policy"
@@ -53,7 +52,7 @@ var (
 // kind="update", not kind="xupdate:update".
 func opOutcome(k xupdate.Kind, outcome string) {
 	obs.Default().Counter("xmlsec_xupdate_ops_total",
-		"kind", strings.TrimPrefix(k.String(), "xupdate:"), "outcome", outcome).Inc()
+		"kind", k.MetricLabel(), "outcome", outcome).Inc()
 }
 
 // Execute applies op on behalf of user: permissions are evaluated (axiom

@@ -288,6 +288,14 @@ func (db *Database) SourceXML() string {
 	return db.doc.XML()
 }
 
+// SourceSketch renders the raw source document's structure sketch (node
+// identifiers and labels) — administrator use only, like SourceXML.
+func (db *Database) SourceSketch() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.doc.Sketch()
+}
+
 // Stats summarizes the database state.
 type Stats struct {
 	Nodes       int
@@ -429,17 +437,21 @@ func (s *Session) View() (*view.View, error) {
 	return s.ViewCtx(context.Background())
 }
 
-// ViewCtx is View with a request context (request ID for telemetry).
+// ViewCtx is View with a request context: a failed materialization is
+// audited with the context's request ID (successes are not audited —
+// views are rebuilt implicitly on most operations and would drown the
+// log).
 func (s *Session) ViewCtx(ctx context.Context) (*view.View, error) {
 	sp := obs.StartSpan(viewStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	v, err := s.currentView()
-	sp.End()
 	if err != nil {
 		sessionOp("view", "error")
+		s.db.recordCtx(ctx, "view", s.user, "", "error: "+err.Error(), sp.End())
 		return nil, err
 	}
+	sp.End()
 	sessionOp("view", "ok")
 	return v, nil
 }
@@ -508,32 +520,35 @@ func (s *Session) QueryValue(path string) (xpath.Value, error) {
 	return s.QueryValueCtx(context.Background(), path)
 }
 
-// QueryValueCtx is QueryValue with a request context.
+// QueryValueCtx is QueryValue with a request context: the request ID (if
+// any) is threaded into the audit entry alongside the operation's
+// duration.
 func (s *Session) QueryValueCtx(ctx context.Context, path string) (xpath.Value, error) {
 	sp := obs.StartSpan(valueStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	v, err := s.currentView()
 	if err != nil {
-		sp.End()
 		sessionOp("query_value", "error")
+		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
 	c, err := xpath.Compile(path)
 	if err != nil {
-		sp.End()
 		sessionOp("query_value", "error")
+		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
 	xe := obs.StartSpan(xpathStage)
 	val, err := c.Eval(v.Doc.Root(), s.vars())
 	xe.End()
-	sp.End()
 	if err != nil {
 		sessionOp("query_value", "error")
+		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
 	sessionOp("query_value", "ok")
+	s.db.recordCtx(ctx, "query_value", s.user, path, val.TypeName(), sp.End())
 	return val, nil
 }
 

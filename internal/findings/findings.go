@@ -1,0 +1,183 @@
+// Package findings defines the diagnostic schema shared by the repository's
+// two static analyzers: xmlsec-lint (the policy analyzer over
+// internal/policyanalysis) and xmlsec-vet (the source-level invariant
+// checker over internal/srcanalysis). Both binaries emit a Report in this
+// one JSON shape with -json, so CI consumes a single format regardless of
+// which gate produced the finding.
+//
+// A Finding carries two kinds of anchor and uses whichever applies: source
+// anchors (Pos, Function, Key) for code-level findings, and policy anchors
+// (Rule, Priority, Related, Subjects) for rule-level findings. Exit-code
+// semantics are shared too: 0 clean, 1 warnings only, 2 errors.
+package findings
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity ranks findings. Errors are violations of an invariant the
+// analyzer can prove; warnings are constructs that weaken a guarantee
+// without provably breaking it.
+type Severity int
+
+// Severities in ascending order.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String renders the severity lowercase, as used in text and JSON output.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes the string form written by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch strings.Trim(string(b), `"`) {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("findings: unknown severity %s", b)
+	}
+	return nil
+}
+
+// Finding is one diagnostic from either analyzer.
+type Finding struct {
+	// Tool is the emitting analyzer: "xmlsec-lint" or "xmlsec-vet".
+	Tool string `json:"tool"`
+	// Pass names the analysis that produced the finding ("viewbypass",
+	// "ctxflow", ... for vet; "policy" for lint).
+	Pass string `json:"pass"`
+	// Code is the stable machine-readable finding code CI matches on.
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+
+	// Source anchors (xmlsec-vet).
+	Pos      string `json:"pos,omitempty"`      // module-relative file:line:col
+	Function string `json:"function,omitempty"` // enclosing function
+	Key      string `json:"key,omitempty"`      // stable key for baseline matching
+
+	// Policy anchors (xmlsec-lint).
+	Rule     string   `json:"rule,omitempty"`
+	Priority int64    `json:"priority,omitempty"`
+	Related  []int64  `json:"related,omitempty"`
+	Subjects []string `json:"subjects,omitempty"`
+}
+
+// anchor renders the finding's location: source position for vet findings,
+// rule priority for lint findings, nothing for tool-level findings.
+func (f *Finding) anchor() string {
+	switch {
+	case f.Pos != "":
+		return f.Pos
+	case f.Rule != "":
+		return fmt.Sprintf("rule@%d", f.Priority)
+	default:
+		return "-"
+	}
+}
+
+// Report is the full result of one analyzer run.
+type Report struct {
+	// Tool is the emitting analyzer: "xmlsec-lint" or "xmlsec-vet".
+	Tool string `json:"tool"`
+	// Analyzed counts the units examined: rules for lint, packages for vet.
+	Analyzed int `json:"analyzed"`
+	// Suppressed counts findings matched (and hidden) by a baseline entry.
+	Suppressed int       `json:"suppressed,omitempty"`
+	Findings   []Finding `json:"findings"`
+}
+
+// Max returns the highest severity present, or Info for a clean report.
+func (r *Report) Max() Severity {
+	max := Info
+	for i := range r.Findings {
+		if r.Findings[i].Severity > max {
+			max = r.Findings[i].Severity
+		}
+	}
+	return max
+}
+
+// HasErrors reports whether any finding is an Error.
+func (r *Report) HasErrors() bool { return r.Max() >= Error }
+
+// HasWarnings reports whether any finding is Warning or worse.
+func (r *Report) HasWarnings() bool { return r.Max() >= Warning }
+
+// ExitCode maps the report to the shared CI exit-code contract:
+// 0 no findings, 1 warnings only, 2 errors.
+func (r *Report) ExitCode() int {
+	switch {
+	case r.HasErrors():
+		return 2
+	case r.HasWarnings():
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Text renders the report for terminals: one line per finding, with a
+// summary header.
+func (r *Report) Text() string {
+	var b strings.Builder
+	unit := "unit(s)"
+	switch r.Tool {
+	case "xmlsec-lint":
+		unit = "rule(s)"
+	case "xmlsec-vet":
+		unit = "package(s)"
+	}
+	if len(r.Findings) == 0 {
+		fmt.Fprintf(&b, "%s: %d %s analyzed: no findings", r.Tool, r.Analyzed, unit)
+		if r.Suppressed > 0 {
+			fmt.Fprintf(&b, " (%d suppressed by baseline)", r.Suppressed)
+		}
+		b.WriteByte('\n')
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s: %d %s analyzed: %d finding(s)", r.Tool, r.Analyzed, unit, len(r.Findings))
+	if r.Suppressed > 0 {
+		fmt.Fprintf(&b, " (%d suppressed by baseline)", r.Suppressed)
+	}
+	b.WriteByte('\n')
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		fmt.Fprintf(&b, "%-7s %s/%s %s: %s", f.Severity, f.Pass, f.Code, f.anchor(), f.Message)
+		if len(f.Related) > 0 {
+			parts := make([]string, len(f.Related))
+			for i, p := range f.Related {
+				parts[i] = fmt.Sprintf("@%d", p)
+			}
+			fmt.Fprintf(&b, " (related: %s)", strings.Join(parts, ", "))
+		}
+		if len(f.Subjects) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(f.Subjects, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package findings
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	return &Report{
+		Tool:       "xmlsec-vet",
+		Analyzed:   7,
+		Suppressed: 2,
+		Findings: []Finding{
+			{
+				Tool: "xmlsec-vet", Pass: "viewbypass", Code: "unsecured-write",
+				Severity: Error, Message: "xupdate.Execute bypasses the §4.4.2 access controls",
+				Pos: "internal/shell/shell.go:10:4", Function: "Shell.runOp", Key: "xupdate.Execute",
+			},
+			{
+				Tool: "xmlsec-lint", Pass: "policy", Code: "dead-rule",
+				Severity: Warning, Message: "rule is shadowed for every subject",
+				Rule: "accept read //x for nurse", Priority: 4,
+				Related: []int64{7}, Subjects: []string{"nurse"},
+			},
+		},
+	}
+}
+
+// TestSeverityJSONRoundTrip checks the string encoding both ways.
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Severity
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, got)
+		}
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &bad); err == nil {
+		t.Error("unknown severity decoded without error")
+	}
+}
+
+// TestReportJSONSchema round-trips a report through the schema with unknown
+// fields disallowed: what the struct emits is exactly what it accepts.
+func TestReportJSONSchema(t *testing.T) {
+	rep := sample()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var back Report
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict decode of own output: %v", err)
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Errorf("re-encoding changed the document:\n%s\n%s", raw, raw2)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	clean := &Report{Tool: "xmlsec-vet"}
+	if got := clean.ExitCode(); got != 0 {
+		t.Errorf("clean report exit %d, want 0", got)
+	}
+	warn := &Report{Findings: []Finding{{Severity: Warning}}}
+	if got := warn.ExitCode(); got != 1 {
+		t.Errorf("warning report exit %d, want 1", got)
+	}
+	if got := sample().ExitCode(); got != 2 {
+		t.Errorf("error report exit %d, want 2", got)
+	}
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	for _, want := range []string{
+		"xmlsec-vet: 7 package(s) analyzed: 2 finding(s) (2 suppressed by baseline)",
+		"viewbypass/unsecured-write internal/shell/shell.go:10:4",
+		"policy/dead-rule rule@4",
+		"[nurse]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Report{Tool: "xmlsec-lint", Analyzed: 12}
+	if want := "xmlsec-lint: 12 rule(s) analyzed: no findings\n"; empty.Text() != want {
+		t.Errorf("empty text = %q, want %q", empty.Text(), want)
+	}
+}

@@ -32,9 +32,9 @@ var (
 	decisionCounter = func() (d [numPrivileges][2]*obs.Counter) {
 		for _, p := range Privileges {
 			d[p][0] = obs.Default().Counter("xmlsec_policy_decisions_total",
-				"privilege", p.String(), "effect", "deny")
+				"privilege", p.MetricLabel(), "effect", "deny")
 			d[p][1] = obs.Default().Counter("xmlsec_policy_decisions_total",
-				"privilege", p.String(), "effect", "allow")
+				"privilege", p.MetricLabel(), "effect", "allow")
 		}
 		return
 	}()
@@ -86,6 +86,27 @@ func (p Privilege) String() string {
 		return "delete"
 	default:
 		return fmt.Sprintf("privilege(%d)", int(p))
+	}
+}
+
+// MetricLabel returns the privilege's telemetry label. Unlike String,
+// every branch (including the default) returns a literal, so labels built
+// from privileges stay compile-time bounded — the property xmlsec-vet's
+// obslabel pass enforces.
+func (p Privilege) MetricLabel() string {
+	switch p {
+	case Position:
+		return "position"
+	case Read:
+		return "read"
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	default:
+		return "unknown"
 	}
 }
 

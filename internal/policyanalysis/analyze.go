@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"securexml/internal/findings"
 	"securexml/internal/policy"
 	"securexml/internal/subject"
 	"securexml/internal/xpath"
@@ -91,6 +92,27 @@ func (rep *Report) HasErrors() bool { return rep.Max() >= Error }
 
 // HasWarnings reports whether any finding is Warning or worse.
 func (rep *Report) HasWarnings() bool { return rep.Max() >= Warning }
+
+// Canonical converts the report to the shared diagnostics schema of
+// internal/findings — the one JSON format CI consumes from both
+// xmlsec-lint and xmlsec-vet.
+func (rep *Report) Canonical() *findings.Report {
+	out := &findings.Report{Tool: "xmlsec-lint", Analyzed: rep.Rules}
+	for _, f := range rep.Findings {
+		out.Findings = append(out.Findings, findings.Finding{
+			Tool:     "xmlsec-lint",
+			Pass:     "policy",
+			Code:     f.Code,
+			Severity: findings.Severity(f.Severity),
+			Message:  f.Message,
+			Rule:     f.Rule,
+			Priority: f.Priority,
+			Related:  f.Related,
+			Subjects: f.Subjects,
+		})
+	}
+	return out
+}
 
 // Text renders the report for terminals.
 func (rep *Report) Text() string {

@@ -13,7 +13,6 @@ import (
 	"securexml/internal/core"
 	"securexml/internal/obs"
 	"securexml/internal/policy"
-	"securexml/internal/xmltree"
 	"securexml/internal/xupdate"
 )
 
@@ -247,26 +246,34 @@ func (sh *Shell) sessionCommand(cmd, rest string) error {
 		if cmd == "update" {
 			kind = xupdate.Update
 		}
-		return sh.runOp(&xupdate.Op{Kind: kind, Select: path, NewValue: arg})
+		op, err := xupdate.NewOp(kind, path, arg)
+		if err != nil {
+			return err
+		}
+		return sh.runOp(op)
 	case "append", "insert-before", "insert-after":
 		path, frag := splitWord(rest)
 		if path == "" || frag == "" {
 			return fmt.Errorf("usage: %s <path> <xml-fragment>", cmd)
 		}
-		content, err := xmltree.ParseString(frag, xmltree.ParseOptions{Fragment: true})
-		if err != nil {
-			return fmt.Errorf("fragment: %w", err)
-		}
 		kind := map[string]xupdate.Kind{
 			"append": xupdate.Append, "insert-before": xupdate.InsertBefore,
 			"insert-after": xupdate.InsertAfter,
 		}[cmd]
-		return sh.runOp(&xupdate.Op{Kind: kind, Select: path, Content: content})
+		op, err := xupdate.NewOp(kind, path, frag)
+		if err != nil {
+			return fmt.Errorf("fragment: %w", err)
+		}
+		return sh.runOp(op)
 	case "remove":
 		if rest == "" {
 			return fmt.Errorf("usage: remove <path>")
 		}
-		return sh.runOp(&xupdate.Op{Kind: xupdate.Remove, Select: rest})
+		op, err := xupdate.NewOp(xupdate.Remove, rest, "")
+		if err != nil {
+			return err
+		}
+		return sh.runOp(op)
 	case "transform":
 		if rest == "" {
 			return fmt.Errorf("usage: transform <stylesheet-file>")

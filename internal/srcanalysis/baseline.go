@@ -1,0 +1,63 @@
+package srcanalysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BaselineEntry grandfathers one family of findings. Matching is by
+// (pass, code, file, function, key) — deliberately line-independent, so
+// unrelated edits to a file do not invalidate the baseline, while moving
+// the flagged construct to another function does.
+type BaselineEntry struct {
+	Pass     string `json:"pass"`
+	Code     string `json:"code"`
+	File     string `json:"file"`     // module-relative path
+	Function string `json:"function"` // enclosing function ("Type.Method" for methods)
+	Key      string `json:"key"`      // the finding's stable key
+	// Justification says why the finding is acceptable; required, because
+	// a baseline entry is a standing exception to a proven invariant.
+	Justification string `json:"justification"`
+}
+
+// Baseline is the committed set of grandfathered findings. An entry that
+// matches nothing is itself reported as a stale-entry error, so the file
+// can only shrink over time.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so new checkouts and the zero-exception end state need no
+// file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("srcanalysis: baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Pass == "" || e.Code == "" || e.File == "" || e.Justification == "" {
+			return nil, fmt.Errorf("srcanalysis: baseline %s: entry %d needs pass, code, file and justification", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// match returns the index of the first entry covering the finding, or -1.
+func (b *Baseline) match(rf *rawFinding) int {
+	for i, e := range b.Entries {
+		if e.Pass == rf.f.Pass && e.Code == rf.f.Code && e.File == rf.file &&
+			e.Function == rf.f.Function && e.Key == rf.f.Key {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,148 @@
+package srcanalysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflowPass proves the request context actually flows along the hot
+// path. The audit log ties every mediated operation to a request ID
+// carried in a context.Context; a dropped context silently severs that
+// tie while the code still compiles. Three rules:
+//
+//   - ctx-unused: a function declares a named context parameter and never
+//     reads it — the context dies there, and so does the request identity.
+//   - ctx-background: a function that already has a context parameter
+//     calls context.Background() or context.TODO() — a fresh root context
+//     where the caller's should have been forwarded.
+//   - ctx-shim: when both F and FCtx exist, the exported non-context
+//     variant F must be exactly a one-statement forwarder to FCtx with
+//     context.Background(); any extra logic in F means the two paths can
+//     drift and the context-free one becomes the unaudited back door.
+var ctxflowPass = &pass{
+	name: "ctxflow",
+	doc:  "request contexts must be accepted and forwarded on the hot path",
+	run:  runCtxflow,
+}
+
+func runCtxflow(a *analysis) {
+	for _, pkg := range a.targets {
+		inspectFuncs(pkg, func(fd *ast.FuncDecl) {
+			checkCtxParams(a, pkg, fd)
+		})
+		checkCtxShims(a, pkg)
+	}
+}
+
+// ctxParams returns the declared context.Context parameter objects of the
+// function (named ones only; blank and unnamed parameters cannot be
+// forwarded and are skipped by ctx-unused but still arm ctx-background).
+func ctxParams(pkg *Pkg, fd *ast.FuncDecl) (named []*ast.Ident, hasAny bool) {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok || !typeFromPkg(tv.Type, "context", "Context") {
+			continue
+		}
+		hasAny = true
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				named = append(named, name)
+			}
+		}
+	}
+	return named, hasAny
+}
+
+func checkCtxParams(a *analysis, pkg *Pkg, fd *ast.FuncDecl) {
+	named, hasAny := ctxParams(pkg, fd)
+	for _, name := range named {
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			a.reportf(pkg, name.Pos(), "ctx-unused", name.Name,
+				"%s accepts a context but never uses it; the request identity is lost here", fd.Name.Name)
+		}
+	}
+	if !hasAny {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pkg.Info, call)
+		if objPkgPath(callee) == "context" && (callee.Name() == "Background" || callee.Name() == "TODO") {
+			a.reportf(pkg, call.Pos(), "ctx-background", "context."+callee.Name(),
+				"context.%s inside a function that already has a context parameter; forward the parameter instead", callee.Name())
+		}
+		return true
+	})
+}
+
+// checkCtxShims enforces the F / FCtx pairing convention.
+func checkCtxShims(a *analysis, pkg *Pkg) {
+	decls := make(map[string]*ast.FuncDecl)
+	objs := make(map[string]types.Object)
+	key := func(fd *ast.FuncDecl) string {
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+		}
+		return fd.Name.Name
+	}
+	inspectFuncs(pkg, func(fd *ast.FuncDecl) {
+		decls[key(fd)] = fd
+		objs[key(fd)] = pkg.Info.Defs[fd.Name]
+	})
+	for k, fd := range decls {
+		if !fd.Name.IsExported() || strings.HasSuffix(fd.Name.Name, "Ctx") {
+			continue
+		}
+		ctxObj, ok := objs[k+"Ctx"]
+		if !ok || ctxObj == nil {
+			continue
+		}
+		if !isThinShim(pkg, fd, ctxObj) {
+			a.reportf(pkg, fd.Pos(), "ctx-shim", fd.Name.Name,
+				"%s has a %sCtx variant but is not a one-statement forwarder to it; the context-free path must not carry its own logic",
+				fd.Name.Name, fd.Name.Name)
+		}
+	}
+}
+
+// isThinShim reports whether fd's body is exactly one statement calling
+// ctxObj with a fresh root context as the first argument.
+func isThinShim(pkg *Pkg, fd *ast.FuncDecl, ctxObj types.Object) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(s.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	}
+	if call == nil || calleeOf(pkg.Info, call) != ctxObj || len(call.Args) == 0 {
+		return false
+	}
+	root, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := calleeOf(pkg.Info, root)
+	return objPkgPath(callee) == "context" && (callee.Name() == "Background" || callee.Name() == "TODO")
+}

@@ -1,0 +1,76 @@
+package srcanalysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// privconstPass guards axiom 14's closed privilege set: a policy rule's
+// privilege is one of the five named constants of internal/policy
+// (Position, Read, Insert, Update, Delete). Outside that package, code
+// must not fabricate privilege values — neither by explicit conversion
+// (policy.Privilege(n)) nor by untyped integer literals that the type
+// checker silently converts (p.Grant(h, 3, ...)). Either could mint a
+// privilege the conflict-resolution rules never considered.
+var privconstPass = &pass{
+	name: "privconst",
+	doc:  "privilege values must be the named constants of internal/policy",
+	run:  runPrivconst,
+}
+
+func runPrivconst(a *analysis) {
+	policyPath := a.internalPath("policy")
+	for _, pkg := range a.targets {
+		if pkg.Path == policyPath {
+			continue
+		}
+		converted := make(map[ast.Expr]bool)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				tn, ok := calleeOf(pkg.Info, call).(*types.TypeName)
+				if !ok || !typeFromPkg(tn.Type(), policyPath, "Privilege") {
+					return true
+				}
+				if len(call.Args) == 1 {
+					converted[ast.Unparen(call.Args[0])] = true
+				}
+				a.reportf(pkg, call.Pos(), "privilege-conversion", types.ExprString(call),
+					"%s fabricates a privilege outside axiom 14's named set; use the policy.* constants", types.ExprString(call))
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit := intLiteral(n)
+				if lit == nil || converted[lit] {
+					return true
+				}
+				tv, ok := pkg.Info.Types[lit]
+				if !ok || !typeFromPkg(tv.Type, policyPath, "Privilege") {
+					return true
+				}
+				a.reportf(pkg, lit.Pos(), "privilege-literal", types.ExprString(lit),
+					"integer literal %s is implicitly typed as policy.Privilege; use the policy.* constants", types.ExprString(lit))
+				return true
+			})
+		}
+	}
+}
+
+// intLiteral matches an integer literal, possibly under a sign.
+func intLiteral(n ast.Node) ast.Expr {
+	switch e := n.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT {
+			return e
+		}
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.BasicLit); ok && lit.Kind == token.INT {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package ctxflowbad seeds the ctxflow violations: dropped, replaced and
+// bypassed request contexts.
+package ctxflowbad
+
+import "context"
+
+// Lookup accepts a context and never reads it: the request identity dies
+// here.
+func Lookup(ctx context.Context, key string) string {
+	return key
+}
+
+// Refresh touches its context but still spawns a fresh root where the
+// caller's context should have been forwarded.
+func Refresh(ctx context.Context) error {
+	_ = ctx
+	return probe(context.Background())
+}
+
+func probe(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Handle has a Ctx variant but carries its own logic instead of
+// forwarding: the context-free path becomes the unaudited back door.
+func Handle(key string) string {
+	if key == "" {
+		return "empty"
+	}
+	return key
+}
+
+// HandleCtx is the context-aware variant Handle fails to forward to.
+func HandleCtx(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}

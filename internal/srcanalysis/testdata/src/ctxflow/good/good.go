@@ -1,0 +1,25 @@
+// Package ctxflowgood shows the conforming context shapes: a used and
+// forwarded context plus the sanctioned one-statement compat shim.
+package ctxflowgood
+
+import "context"
+
+// LookupCtx threads the context through to the work.
+func LookupCtx(ctx context.Context, key string) string {
+	return inner(ctx, key)
+}
+
+// Lookup is the sanctioned compat shim: exactly one statement forwarding
+// a fresh root into the Ctx variant.
+func Lookup(key string) string {
+	return LookupCtx(context.Background(), key)
+}
+
+func inner(ctx context.Context, key string) string {
+	select {
+	case <-ctx.Done():
+		return ""
+	default:
+	}
+	return key
+}

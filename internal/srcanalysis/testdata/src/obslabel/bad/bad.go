@@ -1,0 +1,20 @@
+// Package obslabelbad seeds the obslabel violations: dynamic strings
+// interpolated into metric labels and stage names.
+package obslabelbad
+
+import (
+	"fmt"
+
+	"securexml/internal/obs"
+)
+
+// Leak interpolates a runtime value into a metric label: whatever the
+// view redacted could reappear on /metrics.
+func Leak(user string) {
+	obs.Default().Counter("vettest_requests_total", "user", fmt.Sprintf("u-%s", user)).Inc()
+}
+
+// StageLeak builds a stage name dynamically.
+func StageLeak(name string) {
+	obs.Stage(fmt.Sprintf("stage_%s", name))
+}

@@ -1,0 +1,43 @@
+// Package obslabelgood shows the accepted label sources: constants,
+// bounded-label functions and constant-forwarding parameters.
+package obslabelgood
+
+import "securexml/internal/obs"
+
+type kind int
+
+// The two kinds this fake subsystem distinguishes.
+const (
+	kindA kind = iota
+	kindB
+)
+
+// metricLabel is a bounded-label function: every return statement yields
+// a literal, so the label set is finite at compile time.
+func (k kind) metricLabel() string {
+	switch k {
+	case kindA:
+		return "a"
+	case kindB:
+		return "b"
+	default:
+		return "unknown"
+	}
+}
+
+// Record labels with a constant key and a bounded function value.
+func Record(k kind) {
+	obs.Default().Counter("vettest_ops_total", "kind", k.metricLabel()).Inc()
+}
+
+// recordOutcome forwards its parameter into a label; every call site
+// passes a constant, so the set stays bounded.
+func recordOutcome(outcome string) {
+	obs.Default().Counter("vettest_outcomes_total", "outcome", outcome).Inc()
+}
+
+// RecordOK records a success.
+func RecordOK() { recordOutcome("ok") }
+
+// RecordErr records a failure.
+func RecordErr() { recordOutcome("error") }

@@ -1,0 +1,13 @@
+// Package privconstbad seeds the privconst violations: fabricated
+// privilege values outside axiom 14's named constant set.
+package privconstbad
+
+import "securexml/internal/policy"
+
+// Forge converts an arbitrary integer into a privilege.
+func Forge(n int) policy.Privilege {
+	return policy.Privilege(n)
+}
+
+// Raw is an integer literal silently typed as a privilege.
+var Raw policy.Privilege = 3

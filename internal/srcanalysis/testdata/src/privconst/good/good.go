@@ -1,0 +1,16 @@
+// Package privconstgood shows the conforming privilege sources: the named
+// constants and the parser.
+package privconstgood
+
+import "securexml/internal/policy"
+
+// Named uses only the axiom-14 constants.
+func Named() []policy.Privilege {
+	return []policy.Privilege{policy.Read, policy.Update}
+}
+
+// Parsed goes through the validating parser, which rejects anything
+// outside the named set.
+func Parsed(s string) (policy.Privilege, error) {
+	return policy.ParsePrivilege(s)
+}

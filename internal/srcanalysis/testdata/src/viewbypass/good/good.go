@@ -1,0 +1,41 @@
+// Package viewbypassgood shows the conforming shapes the viewbypass pass
+// must accept: locally constructed documents and core-mediated access.
+package viewbypassgood
+
+import (
+	"securexml/internal/core"
+	"securexml/internal/xmltree"
+)
+
+// Local constructs and reads its own document: local construction is a
+// package's own data, not a bypass.
+func Local() (string, error) {
+	d, err := xmltree.ParseString("<a><b/></a>", xmltree.ParseOptions{})
+	if err != nil {
+		return "", err
+	}
+	return d.XML(), nil
+}
+
+// Mediated goes through the session API: reads come from the axiom 15–17
+// view.
+func Mediated(db *core.Database, user, path string) ([]core.Result, error) {
+	s, err := db.Session(user)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(path)
+}
+
+// render's parameter is clean because its only call site passes a locally
+// constructed document.
+func render(d *xmltree.Document) string { return d.CompactXML() }
+
+// Indirect hands a local document to a helper.
+func Indirect() (string, error) {
+	d, err := xmltree.ParseString("<x/>", xmltree.ParseOptions{})
+	if err != nil {
+		return "", err
+	}
+	return render(d), nil
+}

@@ -15,8 +15,6 @@ import (
 	"errors"
 	"fmt"
 
-	"strings"
-
 	"securexml/internal/obs"
 	"securexml/internal/xmltree"
 	"securexml/internal/xpath"
@@ -62,6 +60,31 @@ func (k Kind) String() string {
 	}
 }
 
+// MetricLabel returns the operation's telemetry label: the element name
+// without the wire prefix. Every branch returns a literal (including the
+// default), so metric labels built from kinds stay compile-time bounded —
+// the property cmd/xmlsec-vet's obslabel pass enforces.
+func (k Kind) MetricLabel() string {
+	switch k {
+	case Update:
+		return "update"
+	case Rename:
+		return "rename"
+	case Append:
+		return "append"
+	case InsertBefore:
+		return "insert-before"
+	case InsertAfter:
+		return "insert-after"
+	case Remove:
+		return "remove"
+	case Variable:
+		return "variable"
+	default:
+		return "unknown"
+	}
+}
+
 // Op is one XUpdate operation.
 type Op struct {
 	// Kind selects the operation.
@@ -74,6 +97,35 @@ type Op struct {
 	// Content is the TREE parameter of the creating operations: a fragment
 	// document whose top-level nodes are inserted. Unused otherwise.
 	Content *xmltree.Document
+}
+
+// NewOp builds an operation from string parameters, as a command surface
+// (shell, HTTP handler) receives them: arg is the new value for Update and
+// Rename, the XML content fragment for Append/InsertBefore/InsertAfter,
+// the variable name for Variable, and must be empty for Remove. Callers
+// that go through NewOp never need to touch xmltree directly.
+func NewOp(kind Kind, path, arg string) (*Op, error) {
+	op := &Op{Kind: kind, Select: path}
+	switch kind {
+	case Update, Rename, Variable:
+		op.NewValue = arg
+	case Append, InsertBefore, InsertAfter:
+		content, err := xmltree.ParseString(arg, xmltree.ParseOptions{Fragment: true})
+		if err != nil {
+			return nil, fmt.Errorf("xupdate: parsing content fragment: %w", err)
+		}
+		op.Content = content
+	case Remove:
+		if arg != "" {
+			return nil, errors.New("xupdate: remove takes only a select path")
+		}
+	default:
+		return nil, fmt.Errorf("xupdate: unknown operation kind %d", int(kind))
+	}
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	return op, nil
 }
 
 // Validate checks the operation's shape before execution.
@@ -171,7 +223,7 @@ func Execute(doc *xmltree.Document, op *Op, vars xpath.Vars) (*Result, error) {
 	}
 	sp.End()
 	obs.Default().Counter("xmlsec_xupdate_unsecured_ops_total",
-		"kind", strings.TrimPrefix(op.Kind.String(), "xupdate:")).Inc()
+		"kind", op.Kind.MetricLabel()).Inc()
 	return res, nil
 }
 
