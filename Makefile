@@ -36,8 +36,10 @@ bench-smoke:
 	$(GO) run ./cmd/xmlsec-bench -exp obs -quick -obs-iters 250 -out BENCH_obs.json
 	$(GO) run ./cmd/xmlsec-bench -validate BENCH_obs.json
 
-# Bounded fuzzing of the three parser targets from their seed corpora.
+# Bounded fuzzing of the parser targets and the incremental-view
+# differential target from their seed corpora.
 fuzz:
 	$(GO) test ./internal/xpath -fuzz FuzzCompile -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/xupdate -fuzz FuzzParseModifications -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/datalog -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/view -fuzz FuzzIncrementalView -fuzztime $(FUZZTIME) -run '^$$'

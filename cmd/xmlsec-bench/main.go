@@ -1,14 +1,15 @@
 // Command xmlsec-bench runs the performance experiments of EXPERIMENTS.md
-// (B1–B7) and prints one table per experiment. It is the human-friendly
-// companion of the testing.B benchmarks in bench_test.go; shapes reported
-// by both must agree.
+// (B1–B7, B11) and prints one table per experiment. It is the
+// human-friendly companion of the testing.B benchmarks in bench_test.go;
+// shapes reported by both must agree.
 //
 // Usage:
 //
 //	xmlsec-bench                        # run all experiments
-//	xmlsec-bench -exp b1                # one experiment (b1..b7, obs)
+//	xmlsec-bench -exp b1                # one experiment (b1..b7, b11, obs)
 //	xmlsec-bench -quick                 # smaller sweeps
 //	xmlsec-bench -exp obs -out BENCH_obs.json
+//	xmlsec-bench -exp b11 -b11-out BENCH_b11.json
 //	xmlsec-bench -validate BENCH_obs.json
 package main
 
@@ -36,12 +37,14 @@ var (
 	quick    bool
 	obsOut   string
 	obsIters int
+	b11Out   string
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (b1..b7, obs, or all)")
+	exp := flag.String("exp", "all", "experiment to run (b1..b7, b11, obs, or all)")
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
 	flag.StringVar(&obsOut, "out", "BENCH_obs.json", "where the obs experiment writes its report")
+	flag.StringVar(&b11Out, "b11-out", "BENCH_b11.json", "where experiment b11 writes its report")
 	flag.IntVar(&obsIters, "obs-iters", 0, "override the obs experiment iteration count")
 	validate := flag.String("validate", "", "validate an emitted obs report and exit")
 	flag.Parse()
@@ -65,6 +68,7 @@ func main() {
 		"b5":  b5LogicVsNative,
 		"b6":  b6ConflictResolution,
 		"b7":  b7QueryFilter,
+		"b11": b11IncrementalMaintenance,
 		"obs": bObs,
 	}
 	if *exp != "all" {
@@ -79,7 +83,7 @@ func main() {
 		}
 		return
 	}
-	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "obs"} {
+	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b11", "obs"} {
 		if err := experiments[name](); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlsec-bench:", err)
 			os.Exit(1)

@@ -161,8 +161,12 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 			skip(res, vn, "node is RESTRICTED: renaming would overwrite a label the user cannot see")
 			return nil
 		}
+		old := src.Label()
 		if err := doc.Rename(src, op.NewValue); err != nil {
 			return err
+		}
+		if old != op.NewValue {
+			res.Deltas = append(res.Deltas, xupdate.Delta{Kind: xupdate.DeltaRelabel, NodeID: src.ID().String(), NewLabel: op.NewValue})
 		}
 		res.Applied++
 	case xupdate.Update:
@@ -188,8 +192,12 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 				skip(res, vk, "read privilege required on the child (axiom 21)")
 				continue
 			}
+			old := sk.Label()
 			if err := doc.Rename(sk, op.NewValue); err != nil {
 				return err
+			}
+			if old != op.NewValue {
+				res.Deltas = append(res.Deltas, xupdate.Delta{Kind: xupdate.DeltaRelabel, NodeID: sk.ID().String(), NewLabel: op.NewValue})
 			}
 			applied = true
 		}
@@ -202,7 +210,7 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 			return nil
 		}
 		for _, top := range op.Content.Root().Children() {
-			created, err := graft(doc, src, xmltree.GraftAppend, top)
+			created, err := graft(doc, src, xmltree.GraftAppend, top, res)
 			if err != nil {
 				return err
 			}
@@ -226,7 +234,7 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 		if op.Kind == xupdate.InsertAfter {
 			mode = xmltree.GraftAfter
 			for i := len(tops) - 1; i >= 0; i-- {
-				created, err := graft(doc, src, mode, tops[i])
+				created, err := graft(doc, src, mode, tops[i], res)
 				if err != nil {
 					return err
 				}
@@ -234,7 +242,7 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 			}
 		} else {
 			for _, top := range tops {
-				created, err := graft(doc, src, mode, top)
+				created, err := graft(doc, src, mode, top, res)
 				if err != nil {
 					return err
 				}
@@ -249,10 +257,16 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 		}
 		// Axiom 25: the whole source subtree goes, including nodes the user
 		// cannot see (confidentiality over integrity).
-		res.Removed += len(src.Subtree())
+		sub := src.Subtree()
+		ids := make([]string, len(sub))
+		for i, s := range sub {
+			ids[i] = s.ID().String()
+		}
+		res.Removed += len(sub)
 		if err := doc.Remove(src); err != nil {
 			return err
 		}
+		res.Deltas = append(res.Deltas, xupdate.Delta{Kind: xupdate.DeltaRemove, NodeID: ids[0], RemovedIDs: ids})
 		res.Applied++
 	default:
 		return fmt.Errorf("access: unknown operation kind %d", int(op.Kind))
@@ -260,10 +274,13 @@ func applySecured(doc *xmltree.Document, pm *policy.Perms, v *view.View, op *xup
 	return nil
 }
 
-func graft(doc *xmltree.Document, ref *xmltree.Node, mode xmltree.GraftMode, srcTop *xmltree.Node) (int, error) {
+// graft grafts srcTop relative to ref, records the insert delta, and
+// returns the number of nodes created.
+func graft(doc *xmltree.Document, ref *xmltree.Node, mode xmltree.GraftMode, srcTop *xmltree.Node, res *xupdate.Result) (int, error) {
 	top, err := doc.Graft(ref, mode, srcTop)
 	if err != nil {
 		return 0, err
 	}
+	res.Deltas = append(res.Deltas, xupdate.Delta{Kind: xupdate.DeltaInsert, NodeID: top.ID().String()})
 	return len(top.Subtree()), nil
 }

@@ -53,6 +53,15 @@ var (
 	cacheMissCold  = obs.Default().Counter("xmlsec_view_cache_misses_total", "reason", "cold")
 	cacheMissDoc   = obs.Default().Counter("xmlsec_view_cache_misses_total", "reason", "doc_version")
 	cacheMissEpoch = obs.Default().Counter("xmlsec_view_cache_misses_total", "reason", "policy_epoch")
+
+	// Incremental maintenance fallbacks, by reason: the policy is not
+	// chain-only for the user (ineligible), the delta log no longer covers
+	// the cached version (gap), or patching failed mid-batch (error).
+	// Successful patches are counted by the view package
+	// (xmlsec_view_incremental_applied_total).
+	incFallbackIneligible = obs.Default().Counter("xmlsec_view_incremental_fallback_total", "reason", "ineligible")
+	incFallbackGap        = obs.Default().Counter("xmlsec_view_incremental_fallback_total", "reason", "gap")
+	incFallbackError      = obs.Default().Counter("xmlsec_view_incremental_fallback_total", "reason", "error")
 )
 
 // sessionOp counts one session operation by name and outcome (ok | error).
@@ -96,11 +105,62 @@ type Database struct {
 	subjects    *subject.Hierarchy
 	policy      *policy.Policy
 	policyEpoch uint64
-	auditLimit  int
-	auditMu     sync.Mutex
-	audit       []AuditEntry
-	auditSeq    uint64
-	journal     *journal.Writer
+	// docGen distinguishes document *replacements* (LoadXML) from
+	// mutations: a fresh document restarts its version counter, so the
+	// version alone cannot key session caches.
+	docGen uint64
+	// deltaLog is a bounded ring of recent update batches, consumed by
+	// session caches to patch views incrementally instead of
+	// re-materializing (see internal/view/incremental.go).
+	deltaLog   []deltaBatch
+	auditLimit int
+	auditMu    sync.Mutex
+	audit      []AuditEntry
+	auditSeq   uint64
+	journal    *journal.Writer
+}
+
+// deltaBatch records the structural changes of one executed operation,
+// spanning document versions (FromVer, ToVer].
+type deltaBatch struct {
+	fromVer, toVer uint64
+	deltas         []xupdate.Delta
+}
+
+// deltaLogCap bounds the delta log; sessions further behind than the
+// oldest retained batch rebuild from scratch.
+const deltaLogCap = 256
+
+// pushDeltaBatch appends one update's deltas. Callers hold the write lock.
+func (db *Database) pushDeltaBatch(fromVer, toVer uint64, deltas []xupdate.Delta) {
+	db.deltaLog = append(db.deltaLog, deltaBatch{fromVer: fromVer, toVer: toVer, deltas: deltas})
+	if len(db.deltaLog) > deltaLogCap {
+		db.deltaLog = db.deltaLog[len(db.deltaLog)-deltaLogCap:]
+	}
+}
+
+// deltaChain collects the contiguous delta batches leading from document
+// version from to version to. It returns ok=false when the log has a gap —
+// the oldest batches were trimmed, or an update mutated the document
+// without recording a batch (e.g. an executor error after partial
+// application).
+func (db *Database) deltaChain(from, to uint64) ([][]xupdate.Delta, bool) {
+	cur := from
+	var out [][]xupdate.Delta
+	for _, b := range db.deltaLog {
+		if b.toVer <= cur {
+			continue
+		}
+		if b.fromVer != cur {
+			return nil, false
+		}
+		out = append(out, b.deltas)
+		cur = b.toVer
+	}
+	if cur != to {
+		return nil, false
+	}
+	return out, true
 }
 
 // New creates an empty database: no document, no subjects, no rules.
@@ -127,6 +187,8 @@ func (db *Database) LoadXML(r io.Reader) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.doc = doc
+	db.docGen++
+	db.deltaLog = nil
 	db.record("system", "load", fmt.Sprintf("%d nodes", doc.Len()), "ok")
 	return nil
 }
@@ -377,8 +439,17 @@ type Session struct {
 
 	mu          sync.Mutex
 	cached      *view.View
+	cachedPerms *policy.Perms
 	cachedVer   uint64
 	cachedEpoch uint64
+	cachedGen   uint64
+
+	// maint is the compiled incremental maintainer for (policy epoch
+	// maintEpoch); nil with maintReady=true means the policy is not
+	// chain-only for this user and every doc change must re-materialize.
+	maint      *view.Maintainer
+	maintEpoch uint64
+	maintReady bool
 }
 
 // Session opens a session for a declared user. Roles cannot log in.
@@ -404,18 +475,31 @@ func (s *Session) vars() xpath.Vars {
 }
 
 // currentView returns the session's view, rebuilding it only when the
-// document or the policy changed. Callers must hold db.mu (read or write).
+// document or the policy changed. A document change whose deltas are still
+// in the log is absorbed by patching the cached view in place (axioms
+// 15–17 re-run over the touched subtrees only); policy changes and
+// document replacements always re-materialize. Callers must hold db.mu
+// (read or write): patching happens under s.mu, and any later write that
+// could patch again is excluded by db.mu for as long as the caller reads
+// the returned view.
 func (s *Session) currentView() (*view.View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cached != nil && s.cachedVer == s.db.doc.Version() && s.cachedEpoch == s.db.policyEpoch {
+	ver, epoch, gen := s.db.doc.Version(), s.db.policyEpoch, s.db.docGen
+	if s.cached != nil && s.cachedGen == gen && s.cachedVer == ver && s.cachedEpoch == epoch {
 		cacheHits.Inc()
+		return s.cached, nil
+	}
+	if s.cached != nil && s.cachedPerms != nil && s.cachedGen == gen && s.cachedEpoch == epoch &&
+		s.tryIncremental(ver) {
+		// Counted as xmlsec_view_incremental_applied_total by the view
+		// package — neither a plain hit nor a materializing miss.
 		return s.cached, nil
 	}
 	switch {
 	case s.cached == nil:
 		cacheMissCold.Inc()
-	case s.cachedVer != s.db.doc.Version():
+	case s.cachedGen != gen || s.cachedVer != ver:
 		cacheMissDoc.Inc()
 	default:
 		cacheMissEpoch.Inc()
@@ -425,14 +509,49 @@ func (s *Session) currentView() (*view.View, error) {
 		return nil, err
 	}
 	s.cached = view.Materialize(s.db.doc, pm)
-	s.cachedVer = s.db.doc.Version()
-	s.cachedEpoch = s.db.policyEpoch
+	s.cachedPerms = pm
+	s.cachedVer = ver
+	s.cachedEpoch = epoch
+	s.cachedGen = gen
 	return s.cached, nil
 }
 
-// View returns the user's current view. The returned view (including its
-// document) must be treated as read-only; it is shared with the session
-// cache.
+// tryIncremental patches the cached view from s.cachedVer up to ver using
+// the database delta log. It reports whether the cache is now current; on
+// false the caller re-materializes (and the reason was counted). Callers
+// hold s.mu and db.mu.
+func (s *Session) tryIncremental(ver uint64) bool {
+	if !s.maintReady || s.maintEpoch != s.cachedEpoch {
+		s.maint, _ = view.NewMaintainer(s.db.policy, s.db.subjects, s.user)
+		s.maintEpoch = s.cachedEpoch
+		s.maintReady = true
+	}
+	if s.maint == nil {
+		incFallbackIneligible.Inc()
+		return false
+	}
+	chain, ok := s.db.deltaChain(s.cachedVer, ver)
+	if !ok {
+		incFallbackGap.Inc()
+		return false
+	}
+	for _, deltas := range chain {
+		if err := s.maint.Apply(s.cached, s.db.doc, s.cachedPerms, deltas); err != nil {
+			// The view may be half-patched: poison it so the rebuild below
+			// starts cold instead of serving damaged state.
+			s.cached = nil
+			s.cachedPerms = nil
+			incFallbackError.Inc()
+			return false
+		}
+	}
+	s.cachedVer = ver
+	return true
+}
+
+// View returns an independent snapshot of the user's current view. The
+// session cache patches its view in place on document updates, so the
+// cached instance cannot be handed out of the lock's scope.
 func (s *Session) View() (*view.View, error) {
 	return s.ViewCtx(context.Background())
 }
@@ -453,7 +572,7 @@ func (s *Session) ViewCtx(ctx context.Context) (*view.View, error) {
 	}
 	sp.End()
 	sessionOp("view", "ok")
-	return v, nil
+	return v.Snapshot(), nil
 }
 
 // ViewXML serializes the user's view.
@@ -461,12 +580,21 @@ func (s *Session) ViewXML() (string, error) {
 	return s.ViewXMLCtx(context.Background())
 }
 
-// ViewXMLCtx is ViewXML with a request context.
+// ViewXMLCtx is ViewXML with a request context. Serialization happens
+// under the database read lock, against the shared cached view — no
+// snapshot copy.
 func (s *Session) ViewXMLCtx(ctx context.Context) (string, error) {
-	v, err := s.ViewCtx(ctx)
+	sp := obs.StartSpan(viewStage)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	v, err := s.currentView()
 	if err != nil {
+		sessionOp("view", "error")
+		s.db.recordCtx(ctx, "view", s.user, "", "error: "+err.Error(), sp.End())
 		return "", err
 	}
+	sp.End()
+	sessionOp("view", "ok")
 	return v.Doc.XML(), nil
 }
 
@@ -600,12 +728,19 @@ func (s *Session) updateWithVars(ctx context.Context, op *xupdate.Op, extra xpat
 	sp := obs.StartSpan(updateStage)
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
+	fromVer := s.db.doc.Version()
 	res, _, err := access.ExecuteWithVars(s.db.doc, s.db.subjects, s.db.policy, s.user, op, extra)
 	if err != nil {
+		// A failed executor may have partially mutated the document; no
+		// batch is recorded, so the version gap forces session caches to
+		// re-materialize (deltaChain reports the gap).
 		sessionOp("update", "error")
 		s.db.recordFull(s.user, "update", opDetail(op), "error: "+err.Error(),
 			obs.RequestID(ctx), sp.End())
 		return nil, err
+	}
+	if toVer := s.db.doc.Version(); toVer != fromVer {
+		s.db.pushDeltaBatch(fromVer, toVer, res.Deltas)
 	}
 	sessionOp("update", "ok")
 	s.db.recordFull(s.user, "update", opDetail(op),

@@ -199,10 +199,16 @@ func (e *Engine) Rules() []Rule { return e.rules }
 
 // validateRule enforces safety: head variables must occur in a positive,
 // non-builtin body literal, and so must all variables of negated or builtin
-// literals. A bodyless rule must be ground.
+// literals; builtin literals must be binary. A bodyless rule must be ground.
 func validateRule(r Rule) error {
 	if IsBuiltin(r.Head.Pred) {
 		return fmt.Errorf("datalog: rule head %s uses a builtin predicate", r.Head.Pred)
+	}
+	for _, l := range r.Body {
+		if IsBuiltin(l.Atom.Pred) && len(l.Atom.Args) != 2 {
+			return fmt.Errorf("datalog: builtin %s takes exactly 2 arguments, got %d",
+				l.Atom.Pred, len(l.Atom.Args))
+		}
 	}
 	positive := map[string]bool{}
 	for _, l := range r.Body {

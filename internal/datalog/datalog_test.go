@@ -146,6 +146,20 @@ func TestBuiltinTable(t *testing.T) {
 	}
 }
 
+// TestBuiltinArityRejected: a builtin body literal with the wrong arity is
+// a validation error, not an evaluation-time panic (fuzz regression).
+func TestBuiltinArityRejected(t *testing.T) {
+	for _, src := range []string{
+		"p(a) :- q(a), gt.",
+		"p(a) :- q(a), gt(1).",
+		"p(a) :- q(a), not eq(1, 2, 3).",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: wrong-arity builtin accepted", src)
+		}
+	}
+}
+
 func TestNegatedBuiltin(t *testing.T) {
 	e := NewEngine()
 	e.Fact("v", "1")

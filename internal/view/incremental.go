@@ -1,0 +1,198 @@
+// Incremental view maintenance: patching a materialized view after an
+// XUpdate instead of re-deriving it from scratch (axioms 15–17 applied to
+// the touched subtree only).
+//
+// Soundness rests on the policy.NodeEvaluator eligibility gate: when every
+// rule applicable to the user is chain-only (membership of a node in the
+// rule's select set depends solely on the node's root-to-node labels and
+// kinds), an update can change perm(s, n, r) only for nodes inside the
+// subtree it touched —
+//
+//   - a relabel (axioms 2–5 / 18–21) changes the chain of exactly the
+//     relabeled node's subtree, so only there can rule membership flip;
+//   - an insert (axioms 6–7 / 22–24) introduces new chains only for the
+//     inserted nodes; existing chains are untouched (sibling positions do
+//     not matter — positional predicates are outside the fragment);
+//   - a remove (axioms 8–9 / 25) deletes chains; surviving chains are
+//     untouched.
+//
+// The view derivation itself (axioms 15–17) is then re-run over just that
+// subtree: Rescore recomputes the perm cells, reconcile mirrors the
+// show/RESTRICTED/hide decision into the view tree. Policy changes (a new
+// rule can address any node) and non-chain-only policies fall back to full
+// Evaluate + Materialize — the caller counts those fallbacks.
+package view
+
+import (
+	"fmt"
+
+	"securexml/internal/labeling"
+	"securexml/internal/obs"
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// Telemetry: incremental applications and their duration, distinguishable
+// from full materializations on /metrics.
+var (
+	incStage   = obs.Stage("view_incremental")
+	incApplied = obs.Default().Counter("xmlsec_view_incremental_applied_total")
+)
+
+// Maintainer patches one user's cached view in response to XUpdate deltas.
+// It is tied to a (policy, hierarchy, user) triple; any policy change
+// invalidates it.
+type Maintainer struct {
+	ne *policy.NodeEvaluator
+}
+
+// NewMaintainer compiles the per-node form of the policy for user. It
+// returns (nil, false) when the policy is not chain-only for this user, in
+// which case incremental maintenance would be unsound and callers must
+// keep re-materializing.
+func NewMaintainer(pol *policy.Policy, h *subject.Hierarchy, user string) (*Maintainer, bool) {
+	ne, ok := pol.NodeEvaluator(h, user)
+	if !ok {
+		return nil, false
+	}
+	return &Maintainer{ne: ne}, true
+}
+
+// Apply patches v — materialized from an earlier version of src under pm —
+// so that it equals Materialize(src, Evaluate(src)) after the given deltas
+// were applied to src. pm is updated in place alongside the view. On error
+// both v and pm may be half-patched and must be discarded.
+func (m *Maintainer) Apply(v *View, src *xmltree.Document, pm *policy.Perms, deltas []xupdate.Delta) error {
+	sp := obs.StartSpan(incStage)
+	defer sp.End()
+	for _, d := range deltas {
+		if err := m.applyDelta(v, src, pm, d); err != nil {
+			return err
+		}
+	}
+	v.Hidden = src.Len() - v.Doc.Len()
+	v.SourceVersion = src.Version()
+	pm.SetDocVersion(src.Version())
+	incApplied.Inc()
+	return nil
+}
+
+// applyDelta processes one structural change.
+func (m *Maintainer) applyDelta(v *View, src *xmltree.Document, pm *policy.Perms, d xupdate.Delta) error {
+	id, err := labeling.Parse(d.NodeID)
+	if err != nil {
+		return fmt.Errorf("view: delta node id: %w", err)
+	}
+	if d.Kind == xupdate.DeltaRemove {
+		// Scrub perm cells first: removed identifiers can be re-allocated
+		// by a later insert in the same batch.
+		pm.Forget(d.RemovedIDs...)
+		return dropView(v, id)
+	}
+	sn := src.NodeByID(id)
+	if sn == nil {
+		// The inserted/relabeled node was itself removed by a later delta
+		// in this batch; the remove delta (processed in order) already
+		// dropped it, but be defensive about view leftovers.
+		return dropView(v, id)
+	}
+	// Re-run axiom 14 over the touched subtree, then axioms 15–17.
+	var rescoreErr error
+	sn.Walk(func(n *xmltree.Node) bool {
+		if err := m.ne.Rescore(pm, n); err != nil {
+			rescoreErr = err
+			return false
+		}
+		return true
+	})
+	if rescoreErr != nil {
+		return rescoreErr
+	}
+	return m.reconcile(v, pm, sn)
+}
+
+// dropView removes the subtree rooted at id from the view, if present.
+func dropView(v *View, id labeling.Label) error {
+	vn := v.Doc.NodeByID(id)
+	if vn == nil {
+		return nil
+	}
+	v.Restricted -= restrictedIn(vn)
+	return v.Doc.Remove(vn)
+}
+
+// reconcile brings the view's rendition of source node sn (and its whole
+// subtree) in line with pm. sn's parent decides where to attach: if the
+// parent is not visible, sn cannot be either (the axiom 16/17 "parent must
+// be selected" condition).
+func (m *Maintainer) reconcile(v *View, pm *policy.Perms, sn *xmltree.Node) error {
+	parent := sn.Parent()
+	if parent == nil {
+		return fmt.Errorf("view: cannot reconcile the document node")
+	}
+	vp := v.Doc.NodeByID(parent.ID())
+	if vp == nil {
+		// Parent hidden ⇒ whole subtree hidden, whatever sn's own perms.
+		return dropView(v, sn.ID())
+	}
+	return m.reconcileUnder(v, pm, sn, vp)
+}
+
+// reconcileUnder reconciles sn below the (visible) view parent vp.
+func (m *Maintainer) reconcileUnder(v *View, pm *policy.Perms, sn *xmltree.Node, vp *xmltree.Node) error {
+	label, sel := selectLabel(pm, sn)
+	vn := v.Doc.NodeByID(sn.ID())
+	if !sel {
+		if vn != nil {
+			if err := dropView(v, sn.ID()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if vn == nil {
+		n, err := v.Doc.MirrorInsert(vp, sn.Kind(), label, sn.ID())
+		if err != nil {
+			return fmt.Errorf("view: mirroring %s: %w", sn.ID(), err)
+		}
+		vn = n
+		if label == xmltree.Restricted {
+			v.Restricted++
+		}
+	} else if vn.Label() != label {
+		if vn.Label() == xmltree.Restricted {
+			v.Restricted--
+		}
+		if label == xmltree.Restricted {
+			v.Restricted++
+		}
+		if err := v.Doc.Rename(vn, label); err != nil {
+			return err
+		}
+	}
+	for _, a := range sn.Attributes() {
+		if err := m.reconcileUnder(v, pm, a, vn); err != nil {
+			return err
+		}
+	}
+	for _, c := range sn.Children() {
+		if err := m.reconcileUnder(v, pm, c, vn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restrictedIn counts RESTRICTED-labeled nodes in a view subtree.
+func restrictedIn(n *xmltree.Node) int {
+	total := 0
+	n.Walk(func(m *xmltree.Node) bool {
+		if m.Label() == xmltree.Restricted {
+			total++
+		}
+		return true
+	})
+	return total
+}

@@ -1,0 +1,188 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/workload"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// diffConfig sizes the differential runs.
+const (
+	diffPatients = 8
+	diffRecords  = 2
+	diffOps      = 120
+)
+
+var diffSeeds = []int64{1, 2, 3, 4}
+
+// diffEnv builds a fresh hospital document, hierarchy and paper policy.
+func diffEnv(t *testing.T, seed int64) (*xmltree.Document, *subject.Hierarchy, *policy.Policy) {
+	t.Helper()
+	d, err := workload.Hospital(workload.HospitalConfig{Patients: diffPatients, RecordsPerPatient: diffRecords, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := workload.HospitalHierarchy(diffPatients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.HospitalPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h, p
+}
+
+// userState is one user's maintained view, perms and maintainer.
+type userState struct {
+	v  *View
+	pm *policy.Perms
+	m  *Maintainer
+}
+
+// initStates materializes every user's view and compiles their maintainer.
+func initStates(t *testing.T, d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy) map[string]*userState {
+	t.Helper()
+	states := make(map[string]*userState)
+	for _, u := range h.Users() {
+		pm, err := p.Evaluate(d, h, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := NewMaintainer(p, h, u)
+		if !ok {
+			t.Fatalf("user %s: paper policy must be chain-only", u)
+		}
+		states[u] = &userState{v: Materialize(d, pm), pm: pm, m: m}
+	}
+	return states
+}
+
+// diffCheck compares a maintained view with a fresh materialization,
+// returning a description of the first divergence ("" when identical):
+// ids+labels+shape (xmltree.Equal), RESTRICTED and hidden accounting, and
+// the serialized form.
+func diffCheck(d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, u string, st *userState) (string, error) {
+	pm, err := p.Evaluate(d, h, u)
+	if err != nil {
+		return "", err
+	}
+	fresh := Materialize(d, pm)
+	switch {
+	case !xmltree.Equal(st.v.Doc, fresh.Doc):
+		return fmt.Sprintf("tree differs\nmaintained:\n%s\nfresh:\n%s", st.v.Doc.Sketch(), fresh.Doc.Sketch()), nil
+	case st.v.Restricted != fresh.Restricted:
+		return fmt.Sprintf("Restricted=%d want %d", st.v.Restricted, fresh.Restricted), nil
+	case st.v.Hidden != fresh.Hidden:
+		return fmt.Sprintf("Hidden=%d want %d", st.v.Hidden, fresh.Hidden), nil
+	case st.v.SourceVersion != fresh.SourceVersion:
+		return fmt.Sprintf("SourceVersion=%d want %d", st.v.SourceVersion, fresh.SourceVersion), nil
+	case st.v.Doc.XML() != fresh.Doc.XML():
+		return fmt.Sprintf("serialization differs\nmaintained:\n%s\nfresh:\n%s", st.v.Doc.XML(), fresh.Doc.XML()), nil
+	}
+	return "", nil
+}
+
+// runSequence executes ops in order over a fresh environment, maintaining
+// every user's view incrementally and diffing against the oracle after
+// every op. It returns the index and description of the first failure, or
+// (-1, "").
+func runSequence(t *testing.T, seed int64, ops []*xupdate.Op) (int, string) {
+	t.Helper()
+	d, h, p := diffEnv(t, seed)
+	states := initStates(t, d, h, p)
+	for i, op := range ops {
+		res, err := xupdate.Execute(d, op, nil)
+		if err != nil {
+			return i, fmt.Sprintf("execute: %v", err)
+		}
+		for _, u := range h.Users() {
+			st := states[u]
+			if err := st.m.Apply(st.v, d, st.pm, res.Deltas); err != nil {
+				return i, fmt.Sprintf("user %s: apply: %v", u, err)
+			}
+			diff, err := diffCheck(d, h, p, u, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff != "" {
+				return i, fmt.Sprintf("user %s after op %d (%s %s): %s", u, i, op.Kind, op.Select, diff)
+			}
+		}
+	}
+	return -1, ""
+}
+
+// minimizeOps greedily drops ops while the sequence still fails, so a
+// regression dump shows the shortest reproducer found.
+func minimizeOps(t *testing.T, seed int64, ops []*xupdate.Op) []*xupdate.Op {
+	t.Helper()
+	cur := append([]*xupdate.Op(nil), ops...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			trial := append(append([]*xupdate.Op(nil), cur[:i]...), cur[i+1:]...)
+			if idx, _ := runSequence(t, seed, trial); idx >= 0 {
+				cur = trial
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+func dumpOps(ops []*xupdate.Op) string {
+	var b strings.Builder
+	for i, op := range ops {
+		fmt.Fprintf(&b, "  %2d: %s select=%q", i, op.Kind, op.Select)
+		if op.NewValue != "" {
+			fmt.Fprintf(&b, " vnew=%q", op.NewValue)
+		}
+		if op.Content != nil {
+			fmt.Fprintf(&b, " content=%q", op.Content.XML())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestIncrementalDifferentialOracle is the ISSUE's differential harness:
+// seeded op streams from internal/workload run against the hospital
+// document, and after every op the incrementally maintained view of every
+// user in the hierarchy must be node-for-node identical (ids, labels,
+// RESTRICTED flags, serialization) to a fresh Materialize. On mismatch the
+// greedily minimized op sequence is dumped.
+func TestIncrementalDifferentialOracle(t *testing.T) {
+	for _, seed := range diffSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Generate the op sequence once against a scratch document so
+			// the failing sequence can be replayed verbatim.
+			d, _, _ := diffEnv(t, seed)
+			stream := workload.OpStream(workload.OpConfig{Doc: d, Seed: seed})
+			var ops []*xupdate.Op
+			for i := 0; i < diffOps; i++ {
+				op, err := stream.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops = append(ops, op)
+				if _, err := xupdate.Execute(d, op, nil); err != nil {
+					t.Fatalf("generating op %d: %v", i, err)
+				}
+			}
+			if idx, diff := runSequence(t, seed, ops); idx >= 0 {
+				minimized := minimizeOps(t, seed, ops[:idx+1])
+				t.Fatalf("differential mismatch at op %d:\n%s\nminimized reproducer (%d ops, seed %d):\n%s",
+					idx, diff, len(minimized), seed, dumpOps(minimized))
+			}
+		})
+	}
+}

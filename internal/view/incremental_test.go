@@ -1,0 +1,264 @@
+package view
+
+import (
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+const incXML = `<patients>
+  <franck><service>otolaryngology</service><diagnosis>tonsillitis</diagnosis></franck>
+  <robert><service>pneumology</service><diagnosis>pneumonia</diagnosis></robert>
+</patients>`
+
+func incEnv(t *testing.T) (*xmltree.Document, *subject.Hierarchy, *policy.Policy) {
+	t.Helper()
+	d, err := xmltree.ParseString(incXML, xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := subject.NewHierarchy()
+	if err := h.AddRole("staff"); err != nil {
+		t.Fatal(err)
+	}
+	for _, role := range []string{"secretary", "doctor", "epidemiologist"} {
+		if err := h.AddRole(role, "staff"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.AddRole("patient"); err != nil {
+		t.Fatal(err)
+	}
+	for user, role := range map[string]string{"beaufort": "secretary", "laporte": "doctor", "richard": "epidemiologist", "franck": "patient", "robert": "patient"} {
+		if err := h.AddUser(user, role); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := policy.PaperPolicy(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h, p
+}
+
+// requireViewsEqual asserts structural equality plus the maintained
+// counters and the serialized form.
+func requireViewsEqual(t *testing.T, got, want *View, ctx string) {
+	t.Helper()
+	if !xmltree.Equal(got.Doc, want.Doc) {
+		t.Fatalf("%s: maintained view differs\nmaintained:\n%s\nfresh:\n%s", ctx, got.Doc.XML(), want.Doc.XML())
+	}
+	if got.Restricted != want.Restricted {
+		t.Errorf("%s: Restricted = %d, want %d", ctx, got.Restricted, want.Restricted)
+	}
+	if got.Hidden != want.Hidden {
+		t.Errorf("%s: Hidden = %d, want %d", ctx, got.Hidden, want.Hidden)
+	}
+	if got.SourceVersion != want.SourceVersion {
+		t.Errorf("%s: SourceVersion = %d, want %d", ctx, got.SourceVersion, want.SourceVersion)
+	}
+	if g, w := got.Doc.XML(), want.Doc.XML(); g != w {
+		t.Errorf("%s: serialization differs\n got: %s\nwant: %s", ctx, g, w)
+	}
+}
+
+// TestMaintainerPaperOps drives each XUpdate kind through the unsecured
+// executor and checks the maintained view against a fresh Materialize for
+// every user of the paper scenario.
+func TestMaintainerPaperOps(t *testing.T) {
+	ops := []struct {
+		name string
+		op   *xupdate.Op
+	}{
+		{"rename", mustOp(t, xupdate.Rename, "/patients/franck/diagnosis", "pathology")},
+		{"update-text", mustOp(t, xupdate.Update, "/patients/robert/diagnosis", "bronchitis")},
+		{"append", mustOp(t, xupdate.Append, "/patients", "<durand><service>cardiology</service><diagnosis>angina</diagnosis></durand>")},
+		{"insert-before", mustOp(t, xupdate.InsertBefore, "/patients/robert", "<dupont><diagnosis>flu</diagnosis></dupont>")},
+		{"insert-after", mustOp(t, xupdate.InsertAfter, "/patients/franck/service", "<ward>B2</ward>")},
+		{"remove", mustOp(t, xupdate.Remove, "/patients/franck/diagnosis", "")},
+		{"rename-patient", mustOp(t, xupdate.Rename, "/patients/robert", "benoit")},
+	}
+	users := []string{"beaufort", "laporte", "richard", "franck", "robert"}
+	for _, tc := range ops {
+		t.Run(tc.name, func(t *testing.T) {
+			d, h, p := incEnv(t)
+			type state struct {
+				v  *View
+				pm *policy.Perms
+				m  *Maintainer
+			}
+			states := make(map[string]*state)
+			for _, u := range users {
+				pm, err := p.Evaluate(d, h, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, ok := NewMaintainer(p, h, u)
+				if !ok {
+					t.Fatalf("%s: paper policy should be maintainable", u)
+				}
+				states[u] = &state{v: Materialize(d, pm), pm: pm, m: m}
+			}
+			res, err := xupdate.Execute(d, tc.op, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Deltas) == 0 {
+				t.Fatalf("op produced no deltas (selected %d, applied %d)", res.Selected, res.Applied)
+			}
+			for _, u := range users {
+				st := states[u]
+				if err := st.m.Apply(st.v, d, st.pm, res.Deltas); err != nil {
+					t.Fatalf("%s: apply: %v", u, err)
+				}
+				pmFresh, err := p.Evaluate(d, h, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireViewsEqual(t, st.v, Materialize(d, pmFresh), u)
+			}
+		})
+	}
+}
+
+// TestMaintainerRenameFlipsPatientVisibility: renaming robert's element to
+// another name must make robert's whole subtree disappear from robert's
+// view (rule 5 matches by name() = $USER) — the hardest relabel case: the
+// delta is one node but visibility flips for the entire subtree.
+func TestMaintainerRenameFlipsPatientVisibility(t *testing.T) {
+	d, h, p := incEnv(t)
+	pm, err := p.Evaluate(d, h, "robert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Materialize(d, pm)
+	m, ok := NewMaintainer(p, h, "robert")
+	if !ok {
+		t.Fatal("not maintainable")
+	}
+	if !v.Visible(d.RootElement().Children()[1].ID().String()) {
+		t.Fatal("robert should see his own element before the rename")
+	}
+	res, err := xupdate.Execute(d, mustOp(t, xupdate.Rename, "/patients/robert", "benoit"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(v, d, pm, res.Deltas); err != nil {
+		t.Fatal(err)
+	}
+	if v.Visible(d.RootElement().Children()[1].ID().String()) {
+		t.Error("renamed element still visible to robert")
+	}
+	pmFresh, err := p.Evaluate(d, h, "robert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViewsEqual(t, v, Materialize(d, pmFresh), "robert after rename")
+
+	// And back: renaming it to robert again restores visibility.
+	res, err = xupdate.Execute(d, mustOp(t, xupdate.Rename, "/patients/benoit", "robert"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(v, d, pm, res.Deltas); err != nil {
+		t.Fatal(err)
+	}
+	pmFresh, err = p.Evaluate(d, h, "robert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViewsEqual(t, v, Materialize(d, pmFresh), "robert after rename back")
+	if !v.Visible(d.RootElement().Children()[1].ID().String()) {
+		t.Error("re-renamed element not visible to robert")
+	}
+}
+
+// TestMaintainerOutOfOrderVisibility: a node becoming visible between two
+// already-visible siblings exercises MirrorInsert's splice (MirrorChild
+// alone would reject the out-of-order mirror).
+func TestMaintainerOutOfOrderVisibility(t *testing.T) {
+	d, h, p := incEnv(t)
+	// franck initially sees /patients and his own subtree; robert's element
+	// sits between franck's element and nothing — so make a third patient
+	// named zoe, rename franck→zoe later... Simpler: use robert's view and
+	// rename the *middle* sibling. Build patients: franck, robert. For
+	// robert, franck's element is hidden. Renaming franck→robert is wrong
+	// (duplicate); instead evaluate for the user "franck" after franck's
+	// element was renamed away and back while a later sibling stayed
+	// visible is already covered above. Here we check the splice directly.
+	pm, err := p.Evaluate(d, h, "franck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Materialize(d, pm)
+	m, ok := NewMaintainer(p, h, "franck")
+	if !ok {
+		t.Fatal("not maintainable")
+	}
+	// Give franck a later visible sibling by renaming robert→franck? Not
+	// allowed by uniqueness of login-named elements in spirit; but the
+	// tree has no such constraint, and rule 5 matches by name, so a second
+	// "franck" element becomes visible. Then renaming the *first* franck
+	// away and back forces a mirror before an existing sibling.
+	steps := []*xupdate.Op{
+		mustOp(t, xupdate.Rename, "/patients/robert", "franck"),
+		mustOp(t, xupdate.Rename, "/patients/*[1]", "someone"),
+		mustOp(t, xupdate.Rename, "/patients/*[1]", "franck"),
+	}
+	for i, op := range steps {
+		res, err := xupdate.Execute(d, op, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Apply(v, d, pm, res.Deltas); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		pmFresh, err := p.Evaluate(d, h, "franck")
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireViewsEqual(t, v, Materialize(d, pmFresh), op.Select)
+	}
+}
+
+// TestSnapshotIndependence: mutating the original view must not affect a
+// snapshot.
+func TestSnapshotIndependence(t *testing.T) {
+	d, h, p := incEnv(t)
+	pm, err := p.Evaluate(d, h, "laporte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Materialize(d, pm)
+	snap := v.Snapshot()
+	if !xmltree.Equal(snap.Doc, v.Doc) {
+		t.Fatal("snapshot differs from original")
+	}
+	m, ok := NewMaintainer(p, h, "laporte")
+	if !ok {
+		t.Fatal("not maintainable")
+	}
+	res, err := xupdate.Execute(d, mustOp(t, xupdate.Remove, "/patients/franck", ""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snap.Doc.XML()
+	if err := m.Apply(v, d, pm, res.Deltas); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Doc.XML() != before {
+		t.Error("maintaining the original mutated the snapshot")
+	}
+}
+
+func mustOp(t *testing.T, kind xupdate.Kind, path, arg string) *xupdate.Op {
+	t.Helper()
+	op, err := xupdate.NewOp(kind, path, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}

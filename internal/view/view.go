@@ -130,6 +130,20 @@ func countNodes(n *xmltree.Node) int {
 	return total
 }
 
+// Snapshot returns an independent deep copy of the view. Incremental
+// maintenance patches a cached view in place, so callers that hand a view
+// out of the owning lock's scope must snapshot it first. Identifiers are
+// preserved by Clone, so write-path mapping still works on the copy.
+func (v *View) Snapshot() *View {
+	return &View{
+		Doc:           v.Doc.Clone(),
+		User:          v.User,
+		SourceVersion: v.SourceVersion,
+		Restricted:    v.Restricted,
+		Hidden:        v.Hidden,
+	}
+}
+
 // Visible reports whether the node with the given source identifier appears
 // in the view (with either its label or RESTRICTED).
 func (v *View) Visible(id string) bool {

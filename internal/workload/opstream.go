@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// OpWeights is the relative mix of the six XUpdate operations an OpStream
+// draws from. Zero-valued weights exclude the operation.
+type OpWeights struct {
+	Update       int
+	Rename       int
+	Append       int
+	InsertBefore int
+	InsertAfter  int
+	Remove       int
+}
+
+// DefaultOpWeights is a mixed read-world update profile: mostly content
+// updates and relabels, some structure growth, some deletion.
+var DefaultOpWeights = OpWeights{Update: 3, Rename: 3, Append: 2, InsertBefore: 1, InsertAfter: 1, Remove: 2}
+
+// OpConfig configures an OpStream.
+type OpConfig struct {
+	// Doc is the live document the stream targets. The stream reads it on
+	// every Next to pick currently existing nodes, so ops stay valid as
+	// the document evolves — callers must apply each op (or not) before
+	// drawing the next.
+	Doc *xmltree.Document
+	// Seed drives deterministic generation.
+	Seed int64
+	// Weights is the op mix; the zero value means DefaultOpWeights.
+	Weights OpWeights
+}
+
+// Stream is a deterministic source of executable XUpdate operations
+// against a live document. It is the shared generator of the differential,
+// metamorphic and race suites: one seed, one op sequence.
+type Stream struct {
+	cfg OpConfig
+	rng *rand.Rand
+	n   int
+}
+
+// OpStream builds a stream. The zero weight mix falls back to
+// DefaultOpWeights.
+func OpStream(cfg OpConfig) *Stream {
+	if cfg.Weights == (OpWeights{}) {
+		cfg.Weights = DefaultOpWeights
+	}
+	return &Stream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// kindOrder fixes the weighted-draw order.
+var kindOrder = []xupdate.Kind{
+	xupdate.Update, xupdate.Rename, xupdate.Append,
+	xupdate.InsertBefore, xupdate.InsertAfter, xupdate.Remove,
+}
+
+func (w OpWeights) weight(k xupdate.Kind) int {
+	switch k {
+	case xupdate.Update:
+		return w.Update
+	case xupdate.Rename:
+		return w.Rename
+	case xupdate.Append:
+		return w.Append
+	case xupdate.InsertBefore:
+		return w.InsertBefore
+	case xupdate.InsertAfter:
+		return w.InsertAfter
+	case xupdate.Remove:
+		return w.Remove
+	default:
+		return 0
+	}
+}
+
+// Next returns the next operation. The select path addresses exactly one
+// currently live node by child position, so the op is executable verbatim
+// by both the unsecured and the secured executor. Next only errors when
+// the document has no eligible target for any operation kind.
+func (s *Stream) Next() (*xupdate.Op, error) {
+	total := 0
+	for _, k := range kindOrder {
+		total += s.cfg.Weights.weight(k)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: all op weights are zero")
+	}
+	pick := s.rng.Intn(total)
+	idx := 0
+	for i, k := range kindOrder {
+		if pick -= s.cfg.Weights.weight(k); pick < 0 {
+			idx = i
+			break
+		}
+	}
+	// Fall back through the other kinds when the drawn one has no
+	// eligible target (e.g. Remove on a nearly empty tree).
+	for off := 0; off < len(kindOrder); off++ {
+		k := kindOrder[(idx+off)%len(kindOrder)]
+		if s.cfg.Weights.weight(k) == 0 && off > 0 {
+			continue
+		}
+		if op := s.build(k); op != nil {
+			return op, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: no eligible target for any operation")
+}
+
+// build draws a target for kind and assembles the op, or nil if no node is
+// eligible.
+func (s *Stream) build(k xupdate.Kind) *xupdate.Op {
+	var cands []*xmltree.Node
+	for _, n := range s.cfg.Doc.Nodes() {
+		if s.eligible(k, n) {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	target := cands[s.rng.Intn(len(cands))]
+	s.n++
+	var op *xupdate.Op
+	var err error
+	switch k {
+	case xupdate.Update:
+		op, err = xupdate.NewOp(k, pathTo(target), fmt.Sprintf("v%d-%s", s.n, illnesses[s.rng.Intn(len(illnesses))]))
+	case xupdate.Rename:
+		arg := illnesses[s.rng.Intn(len(illnesses))]
+		if target.Kind() == xmltree.KindElement && s.rng.Intn(2) == 0 {
+			arg = fmt.Sprintf("e%d", s.n)
+		}
+		op, err = xupdate.NewOp(k, pathTo(target), arg)
+	case xupdate.Append, xupdate.InsertBefore, xupdate.InsertAfter:
+		op, err = xupdate.NewOp(k, pathTo(target), s.fragment())
+	case xupdate.Remove:
+		op, err = xupdate.NewOp(k, pathTo(target), "")
+	}
+	if err != nil {
+		// NewOp only fails on malformed input; paths and fragments here
+		// are generated well formed.
+		panic("workload: generated invalid op: " + err.Error())
+	}
+	return op
+}
+
+// eligible reports whether n can be the target of kind k such that the
+// operation actually mutates the document.
+func (s *Stream) eligible(k xupdate.Kind, n *xmltree.Node) bool {
+	switch n.Kind() {
+	case xmltree.KindDocument:
+		return false
+	case xmltree.KindElement:
+		if n.Parent() != nil && n.Parent().Kind() == xmltree.KindDocument {
+			// The root element: mutable in place, but no siblings may be
+			// added beside it and removing it empties the document.
+			return k == xupdate.Append || k == xupdate.Update
+		}
+	}
+	switch k {
+	case xupdate.Update:
+		// Only element/attribute targets mutate (text targets are skipped
+		// by the executor as having no children to relabel).
+		return n.Kind() == xmltree.KindElement || n.Kind() == xmltree.KindAttribute
+	case xupdate.Rename:
+		return true
+	case xupdate.Append:
+		return n.Kind() == xmltree.KindElement
+	case xupdate.InsertBefore, xupdate.InsertAfter:
+		// Siblings exist for children of elements only.
+		return n.Kind() != xmltree.KindAttribute &&
+			n.Parent() != nil && n.Parent().Kind() == xmltree.KindElement
+	case xupdate.Remove:
+		return true
+	default:
+		return false
+	}
+}
+
+// fragment returns a small content tree, occasionally attribute-bearing.
+func (s *Stream) fragment() string {
+	s.n++
+	switch s.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("<rec><v>t%d</v></rec>", s.n)
+	case 1:
+		return fmt.Sprintf(`<rec id="r%d">%s</rec>`, s.n, services[s.rng.Intn(len(services))])
+	default:
+		return fmt.Sprintf("<note>n%d</note>", s.n)
+	}
+}
+
+// pathTo builds a positional XPath selecting exactly n: one
+// node()[i]/attribute::node()[k] step per ancestor, robust against any
+// label (including RESTRICTED lookalikes and generated names).
+func pathTo(n *xmltree.Node) string {
+	var segs []string
+	for c := n; c.Parent() != nil; c = c.Parent() {
+		p := c.Parent()
+		if c.Kind() == xmltree.KindAttribute {
+			for i, a := range p.Attributes() {
+				if a == c {
+					segs = append(segs, fmt.Sprintf("attribute::node()[%d]", i+1))
+					break
+				}
+			}
+			continue
+		}
+		segs = append(segs, fmt.Sprintf("node()[%d]", p.ChildIndex(c)+1))
+	}
+	// Reverse into root-to-node order.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return "/" + strings.Join(segs, "/")
+}

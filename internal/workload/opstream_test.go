@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+func opStreamDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := Hospital(HospitalConfig{Patients: 4, RecordsPerPatient: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestOpStreamDeterministic: same seed, same document → identical op
+// sequences.
+func TestOpStreamDeterministic(t *testing.T) {
+	mk := func() []string {
+		d := opStreamDoc(t)
+		s := OpStream(OpConfig{Doc: d, Seed: 42})
+		var out []string
+		for i := 0; i < 50; i++ {
+			op, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, op.Kind.String()+" "+op.Select+" "+op.NewValue)
+			if _, err := xupdate.Execute(d, op, nil); err != nil {
+				t.Fatalf("op %d (%s %s): %v", i, op.Kind, op.Select, err)
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestOpStreamTargetsLiveNodes: every generated op selects exactly one
+// node of the current document and executes without error, across a long
+// mutating run.
+func TestOpStreamTargetsLiveNodes(t *testing.T) {
+	d := opStreamDoc(t)
+	s := OpStream(OpConfig{Doc: d, Seed: 3})
+	kinds := make(map[xupdate.Kind]int)
+	for i := 0; i < 200; i++ {
+		op, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := xupdate.Execute(d, op, nil)
+		if err != nil {
+			t.Fatalf("op %d (%s %s): %v", i, op.Kind, op.Select, err)
+		}
+		if res.Selected != 1 {
+			t.Fatalf("op %d (%s %s): selected %d nodes, want exactly 1", i, op.Kind, op.Select, res.Selected)
+		}
+		if len(res.Skipped) != 0 {
+			t.Fatalf("op %d (%s %s): skipped: %+v", i, op.Kind, op.Select, res.Skipped)
+		}
+		kinds[op.Kind]++
+	}
+	for _, k := range kindOrder {
+		if kinds[k] == 0 {
+			t.Errorf("default mix never produced %s", k)
+		}
+	}
+	if d.Len() < 2 {
+		t.Error("document degenerated to (almost) nothing")
+	}
+}
+
+// TestOpStreamWeights: zero-weight kinds never appear; the remove-only mix
+// shrinks the tree.
+func TestOpStreamWeights(t *testing.T) {
+	d := opStreamDoc(t)
+	before := d.Len()
+	s := OpStream(OpConfig{Doc: d, Seed: 9, Weights: OpWeights{Remove: 1}})
+	for i := 0; i < 10; i++ {
+		op, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Kind != xupdate.Remove {
+			t.Fatalf("remove-only mix produced %s", op.Kind)
+		}
+		if _, err := xupdate.Execute(d, op, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() >= before {
+		t.Error("remove-only mix did not shrink the document")
+	}
+	if _, err := OpStream(OpConfig{Doc: d, Seed: 1, Weights: OpWeights{Update: -1}}).Next(); err == nil {
+		t.Error("non-positive weights should error")
+	}
+}

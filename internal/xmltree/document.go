@@ -3,6 +3,7 @@ package xmltree
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"securexml/internal/labeling"
 )
@@ -207,6 +208,36 @@ func (d *Document) MirrorChild(parent *Node, kind Kind, label string, id labelin
 	} else {
 		parent.children = append(parent.children, n)
 	}
+	d.version++
+	return n, nil
+}
+
+// MirrorInsert is MirrorChild without the append-only restriction: the
+// mirrored node is spliced into parent's child (or attribute) list at the
+// position its identifier dictates. It exists for incremental view
+// maintenance, where a source node can become visible after later siblings
+// were already mirrored. The identifier ordering invariant (§3.1: sibling
+// keys sort in document order) keeps the splice position well defined.
+func (d *Document) MirrorInsert(parent *Node, kind Kind, label string, id labeling.Label) (*Node, error) {
+	if err := d.checkOwned(parent); err != nil {
+		return nil, err
+	}
+	if !id.IsChildOf(parent.id) {
+		return nil, fmt.Errorf("xmltree: mirrored identifier %s is not a child of %s", id, parent.id)
+	}
+	if d.index[id.String()] != nil {
+		return nil, fmt.Errorf("xmltree: identifier %s already present", id)
+	}
+	list := &parent.children
+	if kind == KindAttribute {
+		list = &parent.attrs
+	}
+	pos := sort.Search(len(*list), func(i int) bool { return (*list)[i].id.Compare(id) > 0 })
+	n := &Node{kind: kind, label: label, id: id.Clone(), parent: parent}
+	d.register(n)
+	*list = append(*list, nil)
+	copy((*list)[pos+1:], (*list)[pos:])
+	(*list)[pos] = n
 	d.version++
 	return n, nil
 }

@@ -1,0 +1,52 @@
+package xmltree
+
+import "testing"
+
+// TestMirrorInsertSplices: mirroring out of document order splices at the
+// position the identifier dictates, where MirrorChild would refuse.
+func TestMirrorInsertSplices(t *testing.T) {
+	src, err := ParseString(`<r a="1"><x/><y/><z/></r>`, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := src.RootElement()
+	x, y, z := root.Children()[0], root.Children()[1], root.Children()[2]
+	attr := root.Attributes()[0]
+
+	dst := New(src.Scheme())
+	mroot, err := dst.MirrorChild(dst.Root(), KindElement, "r", root.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror x and z first, then y out of order.
+	for _, n := range []*Node{x, z} {
+		if _, err := dst.MirrorChild(mroot, n.Kind(), n.Label(), n.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dst.MirrorChild(mroot, y.Kind(), y.Label(), y.ID()); err == nil {
+		t.Fatal("MirrorChild accepted an out-of-order mirror")
+	}
+	if _, err := dst.MirrorInsert(mroot, y.Kind(), y.Label(), y.ID()); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.RootElement().Children()
+	if len(got) != 3 || got[0].Label() != "x" || got[1].Label() != "y" || got[2].Label() != "z" {
+		t.Fatalf("children after splice: %v", []string{got[0].Label(), got[1].Label(), got[2].Label()})
+	}
+	// Attributes splice into the attribute list.
+	if _, err := dst.MirrorInsert(mroot, KindAttribute, attr.Label(), attr.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.RootElement().Attributes()) != 1 {
+		t.Fatal("attribute not mirrored")
+	}
+	// Duplicate ids are rejected.
+	if _, err := dst.MirrorInsert(mroot, y.Kind(), y.Label(), y.ID()); err == nil {
+		t.Fatal("duplicate identifier accepted")
+	}
+	// Non-child identifiers are rejected.
+	if _, err := dst.MirrorInsert(mroot, KindElement, "bad", root.ID()); err == nil {
+		t.Fatal("non-child identifier accepted")
+	}
+}

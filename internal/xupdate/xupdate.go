@@ -178,6 +178,8 @@ type Result struct {
 	Created int
 	// Removed is the number of nodes deleted from the document.
 	Removed int
+	// Deltas records the structural changes in application order.
+	Deltas []Delta
 }
 
 // SkipReason explains why one selected node was not acted on.
@@ -186,6 +188,39 @@ type SkipReason struct {
 	NodeID string
 	// Reason is a human-readable explanation.
 	Reason string
+}
+
+// DeltaKind classifies one structural change to the document.
+type DeltaKind int
+
+// The delta kinds. Every mutation the six operations can make reduces to
+// one of these three.
+const (
+	// DeltaRelabel: the node kept its identity but its label changed.
+	DeltaRelabel DeltaKind = iota
+	// DeltaInsert: a new subtree rooted at NodeID was added.
+	DeltaInsert
+	// DeltaRemove: the subtree rooted at NodeID was removed.
+	DeltaRemove
+)
+
+// Delta is one structural change made by an executed operation, precise
+// enough for a consumer to patch derived state (a cached user view)
+// without rescanning the document — see internal/view/incremental.go.
+type Delta struct {
+	// Kind classifies the change.
+	Kind DeltaKind
+	// NodeID is the persistent identifier of the affected node: the
+	// relabeled node, the root of the inserted subtree (as grafted into
+	// the target document), or the root of the removed subtree.
+	NodeID string
+	// NewLabel is the label after a DeltaRelabel.
+	NewLabel string
+	// RemovedIDs lists every identifier in the removed subtree (root
+	// first, document order) for a DeltaRemove. Persistent labels can be
+	// re-allocated after a removal, so consumers must scrub state keyed
+	// by these ids before processing later deltas.
+	RemovedIDs []string
 }
 
 // Execute applies op to doc with the unsecured semantics of axioms 2–9:
@@ -268,8 +303,12 @@ func applyOne(doc *xmltree.Document, op *Op, n *xmltree.Node, res *Result) error
 			res.Skipped = append(res.Skipped, SkipReason{n.ID().String(), "cannot rename the document node"})
 			return nil
 		}
+		old := n.Label()
 		if err := doc.Rename(n, op.NewValue); err != nil {
 			return err
+		}
+		if old != op.NewValue {
+			res.Deltas = append(res.Deltas, Delta{Kind: DeltaRelabel, NodeID: n.ID().String(), NewLabel: op.NewValue})
 		}
 		res.Applied++
 	case Update:
@@ -282,26 +321,32 @@ func applyOne(doc *xmltree.Document, op *Op, n *xmltree.Node, res *Result) error
 				res.Skipped = append(res.Skipped, SkipReason{n.ID().String(), "node has no children to update"})
 				return nil
 			}
-			if _, err := doc.AppendChild(n, xmltree.KindText, op.NewValue); err != nil {
+			created, err := doc.AppendChild(n, xmltree.KindText, op.NewValue)
+			if err != nil {
 				return err
 			}
+			res.Deltas = append(res.Deltas, Delta{Kind: DeltaInsert, NodeID: created.ID().String()})
 			res.Applied++
 			res.Created++
 			return nil
 		}
 		for _, c := range kids {
+			old := c.Label()
 			if err := doc.Rename(c, op.NewValue); err != nil {
 				return err
+			}
+			if old != op.NewValue {
+				res.Deltas = append(res.Deltas, Delta{Kind: DeltaRelabel, NodeID: c.ID().String(), NewLabel: op.NewValue})
 			}
 		}
 		res.Applied++
 	case Append:
 		for _, top := range op.Content.Root().Children() {
-			created, err := graftCount(doc, n, xmltree.GraftAppend, top)
+			grafted, err := graftOne(doc, n, xmltree.GraftAppend, top, res)
 			if err != nil {
 				return err
 			}
-			res.Created += created
+			res.Created += grafted
 		}
 		res.Applied++
 	case InsertBefore, InsertAfter:
@@ -316,20 +361,20 @@ func applyOne(doc *xmltree.Document, op *Op, n *xmltree.Node, res *Result) error
 		tops := op.Content.Root().Children()
 		if op.Kind == InsertBefore {
 			for _, top := range tops {
-				created, err := graftCount(doc, n, mode, top)
+				grafted, err := graftOne(doc, n, mode, top, res)
 				if err != nil {
 					return err
 				}
-				res.Created += created
+				res.Created += grafted
 			}
 		} else {
 			// Insert-after in reverse so the fragment keeps its order.
 			for i := len(tops) - 1; i >= 0; i-- {
-				created, err := graftCount(doc, n, mode, tops[i])
+				grafted, err := graftOne(doc, n, mode, tops[i], res)
 				if err != nil {
 					return err
 				}
-				res.Created += created
+				res.Created += grafted
 			}
 		}
 		res.Applied++
@@ -344,19 +389,28 @@ func applyOne(doc *xmltree.Document, op *Op, n *xmltree.Node, res *Result) error
 			res.Skipped = append(res.Skipped, SkipReason{n.ID().String(), "already removed with an ancestor"})
 			return nil
 		}
-		res.Removed += len(n.Subtree())
+		sub := n.Subtree()
+		ids := make([]string, len(sub))
+		for i, s := range sub {
+			ids[i] = s.ID().String()
+		}
+		res.Removed += len(sub)
 		if err := doc.Remove(n); err != nil {
 			return err
 		}
+		res.Deltas = append(res.Deltas, Delta{Kind: DeltaRemove, NodeID: ids[0], RemovedIDs: ids})
 		res.Applied++
 	}
 	return nil
 }
 
-func graftCount(doc *xmltree.Document, ref *xmltree.Node, mode xmltree.GraftMode, src *xmltree.Node) (int, error) {
+// graftOne grafts src relative to ref, records the insert delta, and
+// returns the number of nodes created.
+func graftOne(doc *xmltree.Document, ref *xmltree.Node, mode xmltree.GraftMode, src *xmltree.Node, res *Result) (int, error) {
 	top, err := doc.Graft(ref, mode, src)
 	if err != nil {
 		return 0, err
 	}
+	res.Deltas = append(res.Deltas, Delta{Kind: DeltaInsert, NodeID: top.ID().String()})
 	return len(top.Subtree()), nil
 }
