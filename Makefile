@@ -35,6 +35,8 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/xmlsec-bench -exp obs -quick -obs-iters 250 -out BENCH_obs.json
 	$(GO) run ./cmd/xmlsec-bench -validate BENCH_obs.json
+	$(GO) run ./cmd/xmlsec-bench -exp b12 -quick -b12-out BENCH_b12_quick.json
+	$(GO) run ./cmd/xmlsec-bench -validate-b12 BENCH_b12_quick.json
 
 # Bounded fuzzing of the parser targets and the incremental-view
 # differential target from their seed corpora.

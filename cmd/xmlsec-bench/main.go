@@ -6,11 +6,13 @@
 // Usage:
 //
 //	xmlsec-bench                        # run all experiments
-//	xmlsec-bench -exp b1                # one experiment (b1..b7, b11, obs)
+//	xmlsec-bench -exp b1                # one experiment (b1..b7, b11, b12, obs)
 //	xmlsec-bench -quick                 # smaller sweeps
 //	xmlsec-bench -exp obs -out BENCH_obs.json
 //	xmlsec-bench -exp b11 -b11-out BENCH_b11.json
+//	xmlsec-bench -exp b12 -b12-out BENCH_b12.json
 //	xmlsec-bench -validate BENCH_obs.json
+//	xmlsec-bench -validate-b12 BENCH_b12.json
 package main
 
 import (
@@ -38,15 +40,18 @@ var (
 	obsOut   string
 	obsIters int
 	b11Out   string
+	b12Out   string
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (b1..b7, b11, obs, or all)")
+	exp := flag.String("exp", "all", "experiment to run (b1..b7, b11, b12, obs, or all)")
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
 	flag.StringVar(&obsOut, "out", "BENCH_obs.json", "where the obs experiment writes its report")
 	flag.StringVar(&b11Out, "b11-out", "BENCH_b11.json", "where experiment b11 writes its report")
+	flag.StringVar(&b12Out, "b12-out", "BENCH_b12.json", "where experiment b12 writes its report")
 	flag.IntVar(&obsIters, "obs-iters", 0, "override the obs experiment iteration count")
 	validate := flag.String("validate", "", "validate an emitted obs report and exit")
+	validateB12 := flag.String("validate-b12", "", "validate an emitted b12 report and exit")
 	flag.Parse()
 
 	if *validate != "" {
@@ -60,6 +65,22 @@ func main() {
 		return
 	}
 
+	if *validateB12 != "" {
+		rep, err := validateB12Report(*validateB12)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmlsec-bench:", err)
+			os.Exit(1)
+		}
+		best := 0.0
+		for _, r := range rep.Rows {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		fmt.Printf("%s: valid (%d rows, best speedup %.1fx)\n", *validateB12, len(rep.Rows), best)
+		return
+	}
+
 	experiments := map[string]func() error{
 		"b1":  b1ViewMaterialization,
 		"b2":  b2XPathAxes,
@@ -69,6 +90,7 @@ func main() {
 		"b6":  b6ConflictResolution,
 		"b7":  b7QueryFilter,
 		"b11": b11IncrementalMaintenance,
+		"b12": b12SharedScan,
 		"obs": bObs,
 	}
 	if *exp != "all" {
@@ -83,7 +105,7 @@ func main() {
 		}
 		return
 	}
-	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b11", "obs"} {
+	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b11", "b12", "obs"} {
 		if err := experiments[name](); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlsec-bench:", err)
 			os.Exit(1)

@@ -10,6 +10,7 @@
 //	xmlsec-server -snapshot db.sxml    # serve a restored snapshot
 //	xmlsec-server -pprof               # also expose /debug/pprof/
 //	xmlsec-server -accesslog access.jsonl
+//	xmlsec-server -warm 4              # pre-materialize all views, 4 workers
 //
 // Telemetry is always on: Prometheus text on /metrics, an expvar snapshot
 // on /debug/vars, and a structured JSON access log (stderr by default,
@@ -17,10 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"securexml/internal/core"
 	"securexml/internal/scenario"
@@ -49,6 +52,7 @@ func main() {
 	recover := flag.Bool("recover", false, "replay the journal on top of the snapshot before serving")
 	pprof := flag.Bool("pprof", false, "expose runtime profiles under /debug/pprof/")
 	accessLog := flag.String("accesslog", "stderr", `structured access log: "stderr", "off", or a file path`)
+	warm := flag.Int("warm", 0, "pre-materialize every user's view at startup through this many workers (0 = off)")
 	flag.Parse()
 
 	var db *core.Database
@@ -112,6 +116,14 @@ func main() {
 		}
 		opts = append(opts, server.WithAccessLog(f))
 		fmt.Printf("access log -> %s\n", *accessLog)
+	}
+	if *warm > 0 {
+		start := time.Now()
+		n, err := db.WarmSessions(context.Background(), nil, *warm)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warmed %d user views in %s (%d workers)\n", n, time.Since(start).Round(time.Millisecond), *warm)
 	}
 	st := db.Stats()
 	fmt.Printf("listening on %s (%d nodes, %d rules, %d users); metrics on /metrics\n", *addr, st.Nodes, st.Rules, st.Users)

@@ -118,6 +118,38 @@ type Database struct {
 	audit      []AuditEntry
 	auditSeq   uint64
 	journal    *journal.Writer
+
+	// ruleCache shares the $USER-independent rule node-sets of the current
+	// (docGen, doc version, policyEpoch) across every session's cold
+	// evaluation. It has its own lock because currentView runs under
+	// db.mu.RLock and therefore cannot upgrade to swap the cache.
+	ruleCacheMu    sync.Mutex
+	ruleCache      *policy.RuleCache
+	ruleCacheGen   uint64
+	ruleCacheVer   uint64
+	ruleCacheEpoch uint64
+
+	// sessions holds the per-user shared sessions handed out by
+	// SharedSession, so server requests and warm-up hit one view cache per
+	// user instead of re-materializing per connection.
+	sessMu   sync.Mutex
+	sessions map[string]*Session
+}
+
+// sharedRuleCache returns the cross-user rule cache for the database's
+// current document and policy, replacing it when either moved so stale
+// node-ID sets are never merged into a fresh snapshot's permissions.
+// Callers hold db.mu (read or write), which pins gen/version/epoch for the
+// duration of the evaluation that uses the cache.
+func (db *Database) sharedRuleCache() *policy.RuleCache {
+	gen, ver, epoch := db.docGen, db.doc.Version(), db.policyEpoch
+	db.ruleCacheMu.Lock()
+	defer db.ruleCacheMu.Unlock()
+	if db.ruleCache == nil || db.ruleCacheGen != gen || db.ruleCacheVer != ver || db.ruleCacheEpoch != epoch {
+		db.ruleCache = policy.NewRuleCache()
+		db.ruleCacheGen, db.ruleCacheVer, db.ruleCacheEpoch = gen, ver, epoch
+	}
+	return db.ruleCache
 }
 
 // deltaBatch records the structural changes of one executed operation,
@@ -466,6 +498,36 @@ func (db *Database) Session(user string) (*Session, error) {
 	return &Session{db: db, user: user}, nil
 }
 
+// SharedSession returns the database's singleton session for user,
+// creating it on first use. Unlike Session, repeated calls for the same
+// user share one view cache, so a warmed view keeps serving every later
+// request for that user (the server's request path and WarmSessions both
+// go through here). Sessions are already safe for concurrent use.
+func (db *Database) SharedSession(user string) (*Session, error) {
+	db.sessMu.Lock()
+	if s, ok := db.sessions[user]; ok {
+		db.sessMu.Unlock()
+		return s, nil
+	}
+	db.sessMu.Unlock()
+	// Validate outside sessMu: Session takes db.mu, and holding both here
+	// would order sessMu before db.mu on this path for no benefit.
+	s, err := db.Session(user)
+	if err != nil {
+		return nil, err
+	}
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	if prior, ok := db.sessions[user]; ok {
+		return prior, nil
+	}
+	if db.sessions == nil {
+		db.sessions = make(map[string]*Session)
+	}
+	db.sessions[user] = s
+	return s, nil
+}
+
 // User returns the session's login.
 func (s *Session) User() string { return s.user }
 
@@ -504,7 +566,7 @@ func (s *Session) currentView() (*view.View, error) {
 	default:
 		cacheMissEpoch.Inc()
 	}
-	pm, err := s.db.policy.Evaluate(s.db.doc, s.db.subjects, s.user)
+	pm, err := s.db.policy.EvaluateShared(s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
 	if err != nil {
 		return nil, err
 	}
@@ -911,7 +973,7 @@ func (s *Session) TransformCtx(ctx context.Context, stylesheet string) (string, 
 	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	pm, err := s.db.policy.Evaluate(s.db.doc, s.db.subjects, s.user)
+	pm, err := s.db.policy.EvaluateShared(s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
 	if err != nil {
 		sp.End()
 		sessionOp("transform", "error")

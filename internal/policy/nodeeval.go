@@ -95,6 +95,7 @@ func (ne *NodeEvaluator) Rescore(pm *Perms, n *xmltree.Node) error {
 		}
 	}
 	id := n.ID().String()
+	pm.mutable()
 	if mask == 0 {
 		delete(pm.grants, id)
 	} else {
@@ -107,6 +108,7 @@ func (ne *NodeEvaluator) Rescore(pm *Perms, n *xmltree.Node) error {
 // be re-allocated after a removal (Scheme.Between may hand back a key that
 // was freed), so stale cells must be scrubbed before any reuse.
 func (pm *Perms) Forget(ids ...string) {
+	pm.mutable()
 	for _, id := range ids {
 		delete(pm.grants, id)
 	}

@@ -155,6 +155,15 @@ type Rule struct {
 	Priority  int64
 
 	compiled *xpath.Compiled
+	// matcher is the chain-only per-node form of the path (nil when the
+	// path falls outside the xpath.NodeMatcher fragment) and usesUser
+	// records whether the path references $USER. Both are derived once at
+	// Add time; EvaluateShared partitions rules on them — $USER-independent
+	// rules select the same node set for every user, so their sets can be
+	// cached across sessions, and matcher-capable rules can share one
+	// document walk through an xpath.Bank.
+	matcher  *xpath.NodeMatcher
+	usesUser bool
 }
 
 // String renders the rule in the paper's notation.
@@ -200,10 +209,30 @@ func (p *Policy) Add(h *subject.Hierarchy, r Rule) error {
 		}
 	}
 	r.compiled = c
+	r.matcher, _ = c.NodeMatcher()
+	r.usesUser = c.UsesVariable("USER")
 	p.rules = append(p.rules, &r)
 	sort.SliceStable(p.rules, func(i, j int) bool { return p.rules[i].Priority < p.rules[j].Priority })
+	if err := p.verifySorted(); err != nil {
+		return err
+	}
 	if r.Priority >= p.next {
 		p.next = r.Priority + 1
+	}
+	return nil
+}
+
+// verifySorted checks the strictly-ascending priority invariant that the
+// axiom-14 merges (Evaluate's and EvaluateShared's latest-wins scans) rely
+// on. Add establishes it by sorting after every insertion and rejecting
+// duplicate priorities; verifySorted asserts it so any future mutation path
+// fails loudly instead of silently mis-resolving conflicts.
+func (p *Policy) verifySorted() error {
+	for i := 1; i < len(p.rules); i++ {
+		if p.rules[i-1].Priority >= p.rules[i].Priority {
+			return fmt.Errorf("policy: rules not in strictly ascending priority order (%d then %d)",
+				p.rules[i-1].Priority, p.rules[i].Priority)
+		}
 	}
 	return nil
 }
@@ -226,8 +255,13 @@ func (p *Policy) Rules() []*Rule { return p.rules }
 // Len returns the number of rules.
 func (p *Policy) Len() int { return len(p.rules) }
 
-// Clone returns an independent copy of the policy.
+// Clone returns an independent copy of the policy. It panics if the rule
+// slice has lost its ascending-priority order — only possible by mutating
+// the slice Rules() exposes, which its contract forbids.
 func (p *Policy) Clone() *Policy {
+	if err := p.verifySorted(); err != nil {
+		panic(err.Error() + " (the slice returned by Rules() must not be modified)")
+	}
 	c := &Policy{next: p.next, rules: make([]*Rule, len(p.rules))}
 	for i, r := range p.rules {
 		cp := *r
@@ -241,8 +275,14 @@ func (p *Policy) Clone() *Policy {
 type Perms struct {
 	user    string
 	version uint64
-	// grants[nodeID] is a bitmask over privileges.
-	grants map[string]uint8
+	// grants[nodeID] is a bitmask over privileges. When shared is set the
+	// map belongs to a RuleCache and is read by other sessions; mutators
+	// go through mutable() to get a private copy first. overlay holds this
+	// user's divergences from the shared map ($USER-dependent rules): a
+	// present entry wins over grants, with 0 meaning no access.
+	grants  map[string]uint8
+	overlay map[string]uint8
+	shared  bool
 }
 
 // User returns the subject the permissions were computed for.
@@ -259,7 +299,11 @@ func (pm *Perms) Has(n *xmltree.Node, priv Privilege) bool {
 
 // HasID reports perm(user, id, priv) by node identifier.
 func (pm *Perms) HasID(id string, priv Privilege) bool {
-	ok := pm.grants[id]&(1<<uint(priv)) != 0
+	mask, inOverlay := pm.overlay[id]
+	if !inOverlay {
+		mask = pm.grants[id]
+	}
+	ok := mask&(1<<uint(priv)) != 0
 	countDecision(priv, ok)
 	return ok
 }
@@ -284,7 +328,9 @@ func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user stri
 	}
 	latest := make(map[string]*[numPrivileges]cell)
 	vars := xpath.Vars{"USER": xpath.String(user)}
-	for _, r := range p.rules { // ascending priority: later rules overwrite
+	// Strictly ascending priority (Add's verifySorted invariant): later
+	// rules overwrite, so the >= below can never see an equal priority.
+	for _, r := range p.rules {
 		if !h.ISA(user, r.Subject) {
 			continue
 		}
@@ -334,19 +380,22 @@ func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user stri
 //     "/patients/*[name() = $USER]/descendant-or-self::node()".
 func PaperPolicy(h *subject.Hierarchy) (*Policy, error) {
 	p := New()
+	rule := func(e Effect, r Privilege, path, subj string, prio int64) Rule {
+		return Rule{Effect: e, Privilege: r, Path: path, Subject: subj, Priority: prio}
+	}
 	rules := []Rule{
-		{Accept, Read, "/descendant-or-self::node()", "staff", 10, nil},
-		{Deny, Read, "//diagnosis/node()", "secretary", 11, nil},
-		{Accept, Position, "//diagnosis/node()", "secretary", 12, nil},
-		{Accept, Read, "/patients", "patient", 13, nil},
-		{Accept, Read, "/patients/*[name() = $USER]/descendant-or-self::node()", "patient", 14, nil},
-		{Deny, Read, "/patients/*", "epidemiologist", 15, nil},
-		{Accept, Position, "/patients/*", "epidemiologist", 16, nil},
-		{Accept, Insert, "/patients", "secretary", 17, nil},
-		{Accept, Update, "/patients/*", "secretary", 18, nil},
-		{Accept, Insert, "//diagnosis", "doctor", 19, nil},
-		{Accept, Update, "//diagnosis/node()", "doctor", 20, nil},
-		{Accept, Delete, "//diagnosis/node()", "doctor", 21, nil},
+		rule(Accept, Read, "/descendant-or-self::node()", "staff", 10),
+		rule(Deny, Read, "//diagnosis/node()", "secretary", 11),
+		rule(Accept, Position, "//diagnosis/node()", "secretary", 12),
+		rule(Accept, Read, "/patients", "patient", 13),
+		rule(Accept, Read, "/patients/*[name() = $USER]/descendant-or-self::node()", "patient", 14),
+		rule(Deny, Read, "/patients/*", "epidemiologist", 15),
+		rule(Accept, Position, "/patients/*", "epidemiologist", 16),
+		rule(Accept, Insert, "/patients", "secretary", 17),
+		rule(Accept, Update, "/patients/*", "secretary", 18),
+		rule(Accept, Insert, "//diagnosis", "doctor", 19),
+		rule(Accept, Update, "//diagnosis/node()", "doctor", 20),
+		rule(Accept, Delete, "//diagnosis/node()", "doctor", 21),
 	}
 	for _, r := range rules {
 		if err := p.Add(h, r); err != nil {

@@ -287,3 +287,50 @@ func TestRuleString(t *testing.T) {
 		t.Errorf("String = %q, want %q", got, want)
 	}
 }
+
+// TestAddKeepsStrictAscendingOrder: the >= merge in Evaluate (and the
+// shared-scan merge) relies on strictly ascending priorities — out-of-order
+// Adds must end up sorted, duplicates rejected.
+func TestAddKeepsStrictAscendingOrder(t *testing.T) {
+	_, h := setup(t)
+	p := New()
+	for _, prio := range []int64{30, 10, 20, 5, 25} {
+		err := p.Add(h, Rule{Effect: Accept, Privilege: Read, Path: "//a", Subject: "staff", Priority: prio})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.verifySorted(); err != nil {
+		t.Fatalf("after out-of-order Adds: %v", err)
+	}
+	rules := p.Rules()
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Priority >= rules[i].Priority {
+			t.Fatalf("rules out of order at %d: %d then %d", i, rules[i-1].Priority, rules[i].Priority)
+		}
+	}
+	err := p.Add(h, Rule{Effect: Deny, Privilege: Read, Path: "//a", Subject: "staff", Priority: 20})
+	if !errors.Is(err, ErrDuplicatePriority) {
+		t.Fatalf("duplicate priority: got %v, want ErrDuplicatePriority", err)
+	}
+}
+
+// TestCloneRejectsCorruptedOrder: mutating the slice Rules() exposes (which
+// its contract forbids) must make Clone panic instead of propagating a
+// policy whose merges silently mis-resolve conflicts.
+func TestCloneRejectsCorruptedOrder(t *testing.T) {
+	_, h := setup(t)
+	p := New()
+	for _, prio := range []int64{10, 20} {
+		if err := p.Add(h, Rule{Effect: Accept, Privilege: Read, Path: "//a", Subject: "staff", Priority: prio}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Rules()[0].Priority = 99 // contract violation
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone on corrupted rule order: want panic, got none")
+		}
+	}()
+	p.Clone()
+}

@@ -14,6 +14,7 @@
 //	POST /update                  an <xupdate:modifications> document
 //	POST /transform               an XSLT stylesheet, run as the user (§5)
 //	GET  /analyze                 static policy analysis (JSON; ?format=text)
+//	POST /warm                    pre-materialize all users' views (?workers=N)
 //	GET  /healthz                 liveness, database stats
 //	GET  /metrics                 telemetry registry, Prometheus text format
 //	GET  /debug/vars              telemetry snapshot + runtime stats (expvar)
@@ -33,6 +34,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"securexml/internal/access"
@@ -87,6 +89,7 @@ func New(db *core.Database, opts ...Option) *Server {
 	s.handle("POST /update", "update", s.withSession(s.handleUpdate))
 	s.handle("POST /transform", "transform", s.withSession(s.handleTransform))
 	s.handle("GET /analyze", "analyze", s.withSession(s.handleAnalyze))
+	s.handle("POST /warm", "warm", s.handleWarm)
 	s.handle("GET /healthz", "healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -214,7 +217,10 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *core.Se
 			s.httpError(w, r, errors.New("authentication required"), http.StatusUnauthorized)
 			return
 		}
-		session, err := s.db.Session(user)
+		// Shared per-user sessions: every request for a user hits the same
+		// view cache, so one cold materialization (or a warm-up) serves the
+		// whole connection population.
+		session, err := s.db.SharedSession(user)
 		if err != nil {
 			s.httpError(w, r, err, statusFor(err, http.StatusInternalServerError))
 			return
@@ -321,6 +327,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, _ *core.S
 	if err := json.NewEncoder(w).Encode(rep); err != nil {
 		s.httpError(w, r, err, http.StatusInternalServerError)
 	}
+}
+
+// handleWarm pre-materializes every user's view through the bounded warm
+// pool (core.WarmSessions), so the fleet's first real requests hit warm
+// caches. Operator endpoint: no auth beyond reachability, like /analyze.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	workers := 0
+	if q := r.URL.Query().Get("workers"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			s.httpError(w, r, fmt.Errorf("invalid workers parameter %q", q), http.StatusBadRequest)
+			return
+		}
+		workers = n
+	}
+	warmed, err := s.db.WarmSessions(r.Context(), nil, workers)
+	if err != nil {
+		s.httpError(w, r, err, statusFor(err, http.StatusInternalServerError))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]int{"warmed": warmed})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -246,3 +246,41 @@ func TestAnalyzeEndpoint(t *testing.T) {
 		t.Errorf("text format: %d %q", code, body)
 	}
 }
+
+func TestWarmEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := post(t, ts, "beaufort", "/warm", "")
+	if status != http.StatusOK {
+		t.Fatalf("POST /warm: status %d body %q", status, body)
+	}
+	var out map[string]int
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	if out["warmed"] != 3 {
+		t.Fatalf("warmed = %d, want 3", out["warmed"])
+	}
+	// Bounded pool size is caller-selectable.
+	if status, body := post(t, ts, "beaufort", "/warm?workers=2", ""); status != http.StatusOK {
+		t.Fatalf("POST /warm?workers=2: status %d body %q", status, body)
+	}
+	if status, _ := post(t, ts, "beaufort", "/warm?workers=zero", ""); status != http.StatusBadRequest {
+		t.Fatalf("bad workers param: status %d, want 400", status)
+	}
+}
+
+func TestSharedSessionAcrossRequests(t *testing.T) {
+	ts := testServer(t)
+	// Two requests for the same user must not re-materialize: the second
+	// is a view-cache hit on the shared session. We can't read counters
+	// through the test server (global registry races with other tests), so
+	// just pin the behavior: identical views, no error.
+	s1, b1 := get(t, ts, "robert", "/view")
+	s2, b2 := get(t, ts, "robert", "/view")
+	if s1 != http.StatusOK || s2 != http.StatusOK {
+		t.Fatalf("statuses %d, %d", s1, s2)
+	}
+	if b1 != b2 {
+		t.Fatalf("views differ across requests:\n%s\nvs\n%s", b1, b2)
+	}
+}

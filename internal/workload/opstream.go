@@ -222,3 +222,37 @@ func pathTo(n *xmltree.Node) string {
 	}
 	return "/" + strings.Join(segs, "/")
 }
+
+// SessionPlan is one cold session of a churn mix: which user logs in and
+// how many operations it performs before the next session starts.
+type SessionPlan struct {
+	User string
+	Ops  int
+}
+
+// ChurnPlan builds a cold-session churn mix: sessions distinct users drawn
+// from users (round-robin shuffled per seed), each doing between 1 and
+// maxOps operations. Many users with few ops each is the worst case for
+// per-session view caches and the best case for the cross-user rule cache
+// — B12 and the shared-scan race stress both replay plans from here, so
+// the plan is deterministic in (users, sessions, maxOps, seed).
+func ChurnPlan(users []string, sessions, maxOps int, seed int64) []SessionPlan {
+	if len(users) == 0 || sessions <= 0 {
+		return nil
+	}
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]string, len(users))
+	copy(order, users)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	plan := make([]SessionPlan, sessions)
+	for i := range plan {
+		plan[i] = SessionPlan{
+			User: order[i%len(order)],
+			Ops:  1 + rng.Intn(maxOps),
+		}
+	}
+	return plan
+}

@@ -102,3 +102,48 @@ func TestOpStreamWeights(t *testing.T) {
 		t.Error("non-positive weights should error")
 	}
 }
+
+func TestChurnPlanDeterministic(t *testing.T) {
+	users := []string{"u1", "u2", "u3", "u4", "u5"}
+	a := ChurnPlan(users, 20, 4, 99)
+	b := ChurnPlan(users, 20, 4, 99)
+	if len(a) != 20 {
+		t.Fatalf("got %d sessions, want 20", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("session %d differs across same-seed plans: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := ChurnPlan(users, 20, 4, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+	// Churn means every user appears: 20 sessions over 5 users round-robin.
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s.User] = true
+		if s.Ops < 1 || s.Ops > 4 {
+			t.Fatalf("ops %d outside [1,4]", s.Ops)
+		}
+	}
+	if len(seen) != len(users) {
+		t.Fatalf("plan covers %d users, want %d", len(seen), len(users))
+	}
+}
+
+func TestChurnPlanEmpty(t *testing.T) {
+	if p := ChurnPlan(nil, 10, 3, 1); p != nil {
+		t.Fatalf("nil users: got %v, want nil", p)
+	}
+	if p := ChurnPlan([]string{"u"}, 0, 3, 1); p != nil {
+		t.Fatalf("zero sessions: got %v, want nil", p)
+	}
+}
