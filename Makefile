@@ -10,9 +10,10 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Source-level invariant gate: go vet, formatting, and the four
-# xmlsec-vet passes (viewbypass, privconst, obslabel, ctxflow) under the
-# committed baseline — see DESIGN.md S22 for the axiom mapping.
+# Source-level invariant gate: go vet, formatting, and the seven
+# xmlsec-vet passes (viewbypass, privconst, obslabel, ctxflow, lockguard,
+# cowdiscipline, snapshotimmut) under the committed baseline — see
+# DESIGN.md S22 and S11 for the axiom and invariant mapping.
 vet:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \

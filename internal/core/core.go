@@ -99,8 +99,14 @@ func WithJournal(w io.Writer, seqStart uint64) Option {
 
 // Database is a secure XML database.
 type Database struct {
+	// Configuration, set by Options (and AttachJournal) before the
+	// database is shared; immutable while requests are in flight, so it
+	// needs no lock.
+	scheme     labeling.Scheme
+	auditLimit int
+	journal    *journal.Writer
+
 	mu          sync.RWMutex
-	scheme      labeling.Scheme
 	doc         *xmltree.Document
 	subjects    *subject.Hierarchy
 	policy      *policy.Policy
@@ -112,12 +118,13 @@ type Database struct {
 	// deltaLog is a bounded ring of recent update batches, consumed by
 	// session caches to patch views incrementally instead of
 	// re-materializing (see internal/view/incremental.go).
-	deltaLog   []deltaBatch
-	auditLimit int
-	auditMu    sync.Mutex
-	audit      []AuditEntry
-	auditSeq   uint64
-	journal    *journal.Writer
+	deltaLog []deltaBatch
+
+	// The audit ring has its own lock so read-path operations (which hold
+	// db.mu only for reading) can still append entries.
+	auditMu  sync.Mutex
+	audit    []AuditEntry
+	auditSeq uint64
 
 	// ruleCache shares the $USER-independent rule node-sets of the current
 	// (docGen, doc version, policyEpoch) across every session's cold
@@ -163,7 +170,8 @@ type deltaBatch struct {
 // oldest retained batch rebuild from scratch.
 const deltaLogCap = 256
 
-// pushDeltaBatch appends one update's deltas. Callers hold the write lock.
+// pushDeltaBatch appends one update's deltas. Callers hold db.mu for
+// writing.
 func (db *Database) pushDeltaBatch(fromVer, toVer uint64, deltas []xupdate.Delta) {
 	db.deltaLog = append(db.deltaLog, deltaBatch{fromVer: fromVer, toVer: toVer, deltas: deltas})
 	if len(db.deltaLog) > deltaLogCap {
@@ -175,7 +183,7 @@ func (db *Database) pushDeltaBatch(fromVer, toVer uint64, deltas []xupdate.Delta
 // version from to version to. It returns ok=false when the log has a gap —
 // the oldest batches were trimmed, or an update mutated the document
 // without recording a batch (e.g. an executor error after partial
-// application).
+// application). Callers hold db.mu (read or write).
 func (db *Database) deltaChain(from, to uint64) ([][]xupdate.Delta, bool) {
 	cur := from
 	var out [][]xupdate.Delta
@@ -260,14 +268,20 @@ func Open(r io.Reader, opts ...Option) (*Database, error) {
 		return nil, err
 	}
 	db := New(append([]Option{WithScheme(scheme)}, opts...)...)
+	// The database cannot have escaped yet, but restoring under the lock
+	// keeps the guarded-field discipline checkable rather than exceptional.
+	db.mu.Lock()
 	db.doc = snap.Doc
 	db.subjects = snap.Subjects
 	for _, rule := range snap.Rules {
 		if err := db.policy.Add(db.subjects, rule); err != nil {
+			db.mu.Unlock()
 			return nil, fmt.Errorf("core: restoring rule %s: %w", rule.String(), err)
 		}
 	}
-	db.record("system", "open", fmt.Sprintf("%d nodes, %d rules", db.doc.Len(), db.policy.Len()), "ok")
+	detail := fmt.Sprintf("%d nodes, %d rules", db.doc.Len(), db.policy.Len())
+	db.mu.Unlock()
+	db.record("system", "open", detail, "ok")
 	return db, nil
 }
 
@@ -431,14 +445,18 @@ type AuditEntry struct {
 	Duration time.Duration
 }
 
-// record appends an audit entry; callers hold the write lock (or accept the
-// race on reads, which only concerns the audit trail itself). Auditing is
-// disabled with limit 0.
+// record appends an audit entry without request correlation. It takes the
+// audit lock itself, so it is safe to call with db.mu held in either mode
+// (db.mu always orders before db.auditMu). Auditing is disabled with
+// limit 0.
 func (db *Database) record(user, action, detail, outcome string) {
+	db.auditMu.Lock()
+	defer db.auditMu.Unlock()
 	db.recordFull(user, action, detail, outcome, "", 0)
 }
 
-// recordFull is record with request correlation and timing.
+// recordFull appends one fully annotated audit entry. Callers hold
+// db.auditMu.
 func (db *Database) recordFull(user, action, detail, outcome, reqID string, d time.Duration) {
 	if db.auditLimit == 0 {
 		return
@@ -742,16 +760,7 @@ func (s *Session) QueryValueCtx(ctx context.Context, path string) (xpath.Value, 
 	return val, nil
 }
 
-// recordLocked appends an audit entry while holding at least the read lock.
-// Audit writes under a read lock race only against other audit writes, so
-// they synchronize on a dedicated mutex.
-func (db *Database) recordLocked(action, user, detail, outcome string) {
-	db.auditMu.Lock()
-	db.record(user, action, detail, outcome)
-	db.auditMu.Unlock()
-}
-
-// recordCtx is recordLocked with the context's request ID and a duration.
+// recordCtx is record with the context's request ID and a duration.
 func (db *Database) recordCtx(ctx context.Context, action, user, detail, outcome string, d time.Duration) {
 	db.auditMu.Lock()
 	db.recordFull(user, action, detail, outcome, obs.RequestID(ctx), d)
@@ -797,17 +806,16 @@ func (s *Session) updateWithVars(ctx context.Context, op *xupdate.Op, extra xpat
 		// batch is recorded, so the version gap forces session caches to
 		// re-materialize (deltaChain reports the gap).
 		sessionOp("update", "error")
-		s.db.recordFull(s.user, "update", opDetail(op), "error: "+err.Error(),
-			obs.RequestID(ctx), sp.End())
+		s.db.recordCtx(ctx, "update", s.user, opDetail(op), "error: "+err.Error(), sp.End())
 		return nil, err
 	}
 	if toVer := s.db.doc.Version(); toVer != fromVer {
 		s.db.pushDeltaBatch(fromVer, toVer, res.Deltas)
 	}
 	sessionOp("update", "ok")
-	s.db.recordFull(s.user, "update", opDetail(op),
+	s.db.recordCtx(ctx, "update", s.user, opDetail(op),
 		fmt.Sprintf("selected=%d applied=%d skipped=%d", res.Selected, res.Applied, len(res.Skipped)),
-		obs.RequestID(ctx), sp.End())
+		sp.End())
 	return res, nil
 }
 
@@ -939,18 +947,16 @@ func Recover(snapshot, journalLog io.Reader, opts ...Option) (*Database, uint64,
 	if torn {
 		detail += " (torn tail discarded)"
 	}
-	db.mu.Lock()
 	db.record("system", "recover", detail, "ok")
-	db.mu.Unlock()
 	return db, lastSeq, nil
 }
 
 // AttachJournal attaches (or replaces) the operation log on an existing
 // database — the recovery sequence is: Recover(snapshot, journal), then
-// AttachJournal(appendHandle, lastSeq) to continue the same log.
+// AttachJournal(appendHandle, lastSeq) to continue the same log. Like the
+// journal Option, it must run before the database serves concurrent
+// requests: the journal handle is read without a lock on the update path.
 func (db *Database) AttachJournal(w io.Writer, seqStart uint64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.journal = journal.NewWriter(w, seqStart)
 }
 

@@ -276,10 +276,11 @@ type Perms struct {
 	user    string
 	version uint64
 	// grants[nodeID] is a bitmask over privileges. When shared is set the
-	// map belongs to a RuleCache and is read by other sessions; mutators
-	// go through mutable() to get a private copy first. overlay holds this
-	// user's divergences from the shared map ($USER-dependent rules): a
-	// present entry wins over grants, with 0 meaning no access.
+	// map belongs to a RuleCache and is read by other sessions — callers
+	// must clone before mutating; mutators go through mutable() to get a
+	// private copy first. overlay holds this user's divergences from the
+	// shared map ($USER-dependent rules): a present entry wins over
+	// grants, with 0 meaning no access.
 	grants  map[string]uint8
 	overlay map[string]uint8
 	shared  bool

@@ -91,12 +91,15 @@ type RuleCache struct {
 	doc     *xmltree.Document
 	version uint64
 
-	// Dense snapshot index: nodes in document order, their ID strings,
-	// and the reverse pointer→index map used to intern rule node sets.
+	// Dense snapshot index, guarded by mu: nodes in document order, their
+	// ID strings, and the reverse pointer→index map used to intern rule
+	// node sets.
 	nodes []*xmltree.Node
 	ids   []string
 	index map[*xmltree.Node]int32
 
+	// sets holds each $USER-independent rule's dense node set, guarded by
+	// mu like the rest of the cache state below.
 	sets map[*Rule][]int32
 	// grants holds, per profile, the final grant masks of users whose
 	// applicable rules are all $USER-independent; latest holds the dense
@@ -142,7 +145,8 @@ func (c *RuleCache) intern(ns []*xmltree.Node) []int32 {
 // computing only the ones no earlier evaluation has cached yet — a
 // homogeneous fleet (say, thousands of patients) never pays for staff
 // rules it will not merge. Missing rules are still computed together, so
-// the chain-only ones share one bank walk. Callers hold c.mu.
+// the chain-only ones share one bank walk. The returned map is the live
+// cache — callers must clone before mutating. Callers hold c.mu.
 func (c *RuleCache) fill(p *Policy, doc *xmltree.Document, indep []*Rule) (map[*Rule][]int32, error) {
 	var missing []*Rule
 	for _, r := range indep {
@@ -221,6 +225,7 @@ func (cs *permCells) mask() uint8 {
 
 // projectGrants collapses dense merge state into the grant-mask form Perms
 // serves, keeping only nodes with at least one accepted privilege.
+// Callers hold c.mu.
 func (c *RuleCache) projectGrants(latest []permCells) map[string]uint8 {
 	g := make(map[string]uint8, len(latest))
 	for idx := range latest {

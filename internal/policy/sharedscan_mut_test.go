@@ -1,0 +1,92 @@
+// Dynamic twin of the cowdiscipline vet pass: the static pass proves no
+// code mutates a RuleCache-returned grant mask without cloning; this test
+// proves the clone-on-first-write helpers actually deliver that isolation
+// at runtime. Every user's Perms comes from one shared RuleCache, one
+// goroutine per user hammers its Perms with Forget and Rescore while
+// other goroutines keep evaluating through the same cache, and at the end
+// a fresh differential Evaluate must still agree with EvaluateShared for
+// every user — a leaked mutation of the shared masks would break the
+// cell-for-cell oracle. Run under -race (make race) this also proves the
+// cache tier is data-race free under the mixed workload.
+package policy_test
+
+import (
+	"sync"
+	"testing"
+
+	"securexml/internal/policy"
+)
+
+func TestSharedMaskMutationIsolated(t *testing.T) {
+	for _, kind := range ssKinds {
+		t.Run(kind, func(t *testing.T) {
+			d, h, p := ssEnv(t, 1, kind)
+			cache := policy.NewRuleCache()
+			users := h.Users()
+
+			// Warm the shared cache and keep each user's Perms handle.
+			perms := make(map[string]*policy.Perms, len(users))
+			for _, u := range users {
+				pm, err := p.EvaluateShared(d, h, u, cache)
+				if err != nil {
+					t.Fatalf("warm evaluate(%s): %v", u, err)
+				}
+				perms[u] = pm
+			}
+			ids := make([]string, 0, 16)
+			nodes := d.Nodes()
+			for _, n := range nodes {
+				ids = append(ids, n.ID().String())
+			}
+
+			// Mutate every user's Perms through the clone-on-first-write
+			// helpers while other sessions evaluate through the same cache.
+			var wg sync.WaitGroup
+			errs := make(chan error, 2*len(users))
+			for _, u := range users {
+				pm := perms[u]
+				wg.Add(2)
+				go func(u string, pm *policy.Perms) {
+					defer wg.Done()
+					if ne, ok := p.NodeEvaluator(h, u); ok {
+						for _, n := range nodes {
+							if err := ne.Rescore(pm, n); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+					pm.Forget(ids...)
+				}(u, pm)
+				go func(u string) {
+					defer wg.Done()
+					if _, err := p.EvaluateShared(d, h, u, cache); err != nil {
+						errs <- err
+					}
+				}(u)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Differential oracle: the shared cache must still serve every
+			// user the reference permissions — no Forget or Rescore above may
+			// have written through to the shared masks.
+			for _, u := range users {
+				ref, err := p.Evaluate(d, h, u)
+				if err != nil {
+					t.Fatalf("reference evaluate(%s): %v", u, err)
+				}
+				got, err := p.EvaluateShared(d, h, u, cache)
+				if err != nil {
+					t.Fatalf("shared evaluate(%s): %v", u, err)
+				}
+				if diff := permsDiff(d, ref, got); diff != "" {
+					t.Errorf("user %s after concurrent mask mutation: %s", u, diff)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+
+	"securexml/internal/findings"
 )
 
 // BaselineEntry grandfathers one family of findings. Matching is by
@@ -49,6 +53,76 @@ func LoadBaseline(path string) (*Baseline, error) {
 		}
 	}
 	return &b, nil
+}
+
+// RegenerateBaseline builds a fresh baseline from a report produced with
+// an empty baseline (so every finding is visible). Each finding becomes
+// one entry, deduplicated by the (pass, code, file, function, key)
+// match tuple; entries that already existed in prev keep their committed
+// justification, new ones get a placeholder that LoadBaseline accepts but
+// a reviewer must replace. The result is sorted, so regeneration is
+// deterministic and diffs stay reviewable.
+func RegenerateBaseline(rep *findings.Report, prev *Baseline) *Baseline {
+	justify := make(map[BaselineEntry]string)
+	if prev != nil {
+		for _, e := range prev.Entries {
+			key := e
+			key.Justification = ""
+			justify[key] = e.Justification
+		}
+	}
+	seen := make(map[BaselineEntry]bool)
+	b := &Baseline{}
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		if f.Pos == "" {
+			continue // tool-level findings (e.g. stale-entry) are not code sites
+		}
+		e := BaselineEntry{
+			Pass:     f.Pass,
+			Code:     f.Code,
+			File:     strings.SplitN(f.Pos, ":", 2)[0],
+			Function: f.Function,
+			Key:      f.Key,
+		}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		if j, ok := justify[e]; ok {
+			e.Justification = j
+		} else {
+			e.Justification = "TODO: justify or fix"
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Pass != c.Pass {
+			return a.Pass < c.Pass
+		}
+		if a.Code != c.Code {
+			return a.Code < c.Code
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Function != c.Function {
+			return a.Function < c.Function
+		}
+		return a.Key < c.Key
+	})
+	return b
+}
+
+// SaveBaseline writes the baseline as indented JSON, the format the
+// committed vet-baseline.json is kept in.
+func SaveBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // match returns the index of the first entry covering the finding, or -1.

@@ -1,0 +1,369 @@
+package srcanalysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockguardPass proves the mutex discipline the shared-scan tier documents
+// in comments. A struct field is *guarded* when its comment says
+// "guarded by <mu>" or when it sits in the same blank-line-free group as a
+// sync.Mutex/RWMutex field (the Go convention the Database, Session and
+// RuleCache structs follow). A guarded field may be touched only where the
+// analysis can see the guard held:
+//
+//   - unguarded-access: the enclosing function neither calls
+//     <mu>.Lock/RLock on the guard (outside nested closures) nor carries a
+//     "callers hold <mu>" annotation, and the value is not a freshly
+//     constructed local (constructors may initialize before sharing).
+//     Inside a `go func(){...}` literal the surrounding function's locks
+//     and annotations do not count — the goroutine runs after they are
+//     released — so only locks taken inside the literal itself satisfy the
+//     guard; the same rule covers locals guarded by a var-block mutex
+//     (the WarmSessions pattern).
+//   - guard-escape: a return statement hands a guarded reference-carrying
+//     value (pointer, slice, map, ...) out of the critical section, where
+//     the guard no longer protects it. Licensed when the function is
+//     annotated "callers hold <mu>" (the caller is still inside the
+//     section), when the escaping value carries its own synchronization
+//     (a struct with a mutex or atomic field defends itself), or when the
+//     value is rooted in a fresh local.
+//
+// The analysis is flow-insensitive and ignores instance identity: holding
+// *any* a.mu licenses touching *any* A.guarded — the discipline proven is
+// "this code never touches a guarded field without thinking about the
+// lock", which is exactly what the comments promised and nothing enforced.
+var lockguardPass = &pass{
+	name: "lockguard",
+	doc:  "guarded struct fields touched without their mutex held or escaping the critical section",
+	run:  runLockguard,
+}
+
+func runLockguard(a *analysis) {
+	guards := make(map[types.Object][]types.Object)
+	for _, pkg := range a.targets {
+		collectFieldGuards(a.prog.Fset, pkg, guards)
+	}
+	for _, pkg := range a.targets {
+		inspectFuncs(pkg, func(fd *ast.FuncDecl) {
+			held := make(map[types.Object]bool)
+			annotated := false
+			for _, path := range holdPaths(commentText(fd.Doc)) {
+				if mv := resolveMutexPath(pkg, fd, path); mv != nil {
+					held[mv] = true
+					annotated = true
+				}
+			}
+			for _, m := range locksIn(pkg, fd.Body) {
+				held[m] = true
+			}
+			w := &lockWalker{
+				a: a, pkg: pkg,
+				guards:      guards,
+				localGuards: collectLocalGuards(a.prog.Fset, pkg, fd.Body),
+				fresh:       freshLocals(pkg, fd),
+				annotated:   annotated,
+			}
+			w.walk(fd.Body, held, false)
+		})
+	}
+}
+
+// collectFieldGuards maps every guarded struct field object to its
+// guarding mutex objects. Guards attach two ways: an explicit
+// "guarded by <path>" field comment (which also opens a guarded group for
+// the blank-line-adjacent fields that follow), or plain adjacency to a
+// mutex-typed field. sync/sync-atomic-typed fields synchronize themselves
+// and are never guarded; a blank line ends a group.
+func collectFieldGuards(fset *token.FileSet, pkg *Pkg, guards map[types.Object][]types.Object) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tobj := pkg.Info.Defs[ts.Name]
+				if tobj == nil {
+					continue
+				}
+				collectStructGuards(fset, pkg, tobj.Type(), st, guards)
+			}
+		}
+	}
+}
+
+func collectStructGuards(fset *token.FileSet, pkg *Pkg, structType types.Type, st *ast.StructType, guards map[types.Object][]types.Object) {
+	var current types.Object // the group's guard, nil outside a group
+	prevEnd := -1
+	for _, field := range st.Fields.List {
+		start := fset.Position(field.Pos()).Line
+		if field.Doc != nil {
+			start = fset.Position(field.Doc.Pos()).Line
+		}
+		end := fset.Position(field.End()).Line
+		if field.Comment != nil {
+			end = fset.Position(field.Comment.End()).Line
+		}
+		if prevEnd >= 0 && start-prevEnd > 1 {
+			current = nil // blank line: the mutex-adjacency group ends
+		}
+		prevEnd = end
+
+		var ft types.Type
+		if tv, ok := pkg.Info.Types[field.Type]; ok {
+			ft = tv.Type
+		}
+		var explicit types.Object
+		for _, path := range guardedPaths(commentText(field.Doc, field.Comment)) {
+			if mv := mutexVar(fieldPath(structType, strings.Split(path, "."))); mv != nil {
+				explicit = mv
+				break
+			}
+		}
+		switch {
+		case explicit != nil:
+			current = explicit
+			guardNames(pkg, field, current, guards)
+		case ft != nil && isMutexType(ft):
+			// The mutex itself opens a group and is never guarded.
+			if len(field.Names) > 0 {
+				if obj := pkg.Info.Defs[field.Names[0]]; obj != nil {
+					current = obj
+				}
+			}
+		case ft != nil && isSyncType(ft):
+			// Self-synchronizing (WaitGroup, Once, atomics): neither guarded
+			// nor a group break.
+		case current != nil:
+			guardNames(pkg, field, current, guards)
+		}
+	}
+}
+
+func guardNames(pkg *Pkg, field *ast.Field, mutex types.Object, guards map[types.Object][]types.Object) {
+	for _, name := range field.Names {
+		if obj := pkg.Info.Defs[name]; obj != nil {
+			guards[obj] = append(guards[obj], mutex)
+		}
+	}
+}
+
+// collectLocalGuards applies the same adjacency convention to `var (...)`
+// blocks: locals declared after a mutex in the same block are guarded by
+// it. They are enforced only inside `go` literals — within the declaring
+// function the mutex exists to coordinate with its goroutines.
+func collectLocalGuards(fset *token.FileSet, pkg *Pkg, body *ast.BlockStmt) map[types.Object][]types.Object {
+	guards := make(map[types.Object][]types.Object)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		var current types.Object
+		prevEnd := -1
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			start := fset.Position(vs.Pos()).Line
+			if vs.Doc != nil {
+				start = fset.Position(vs.Doc.Pos()).Line
+			}
+			if prevEnd >= 0 && start-prevEnd > 1 {
+				current = nil
+			}
+			prevEnd = fset.Position(vs.End()).Line
+			for _, name := range vs.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				switch {
+				case isMutexType(obj.Type()):
+					current = obj
+				case isSyncType(obj.Type()):
+				case current != nil:
+					guards[obj] = append(guards[obj], current)
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// locksIn collects the mutex objects whose Lock or RLock the body calls
+// directly — nested function literals are excluded, since their locks
+// protect a different dynamic extent.
+func locksIn(pkg *Pkg, body ast.Node) []types.Object {
+	var out []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || !isMutexType(tv.Type) {
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				out = append(out, obj)
+			}
+		case *ast.SelectorExpr:
+			if s := pkg.Info.Selections[x]; s != nil {
+				out = append(out, s.Obj())
+			} else if obj := pkg.Info.Uses[x.Sel]; obj != nil {
+				out = append(out, obj) // package-level mutex
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockWalker carries one function's checking context down its body.
+type lockWalker struct {
+	a           *analysis
+	pkg         *Pkg
+	guards      map[types.Object][]types.Object
+	localGuards map[types.Object][]types.Object
+	fresh       map[types.Object]bool
+	annotated   bool // the function has a resolved "callers hold" annotation
+}
+
+func (w *lockWalker) walk(node ast.Node, held map[types.Object]bool, inGo bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				// The goroutine body runs after the caller's locks are
+				// released: it starts with only the locks it takes itself.
+				goHeld := make(map[types.Object]bool)
+				for _, m := range locksIn(w.pkg, fl.Body) {
+					goHeld[m] = true
+				}
+				w.walk(fl.Body, goHeld, true)
+				for _, arg := range x.Call.Args {
+					w.walk(arg, held, inGo)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			// A synchronously invoked or stored literal inherits the
+			// surrounding context and may add its own locks.
+			inner := make(map[types.Object]bool, len(held))
+			for m := range held {
+				inner[m] = true
+			}
+			for _, m := range locksIn(w.pkg, x.Body) {
+				inner[m] = true
+			}
+			w.walk(x.Body, inner, inGo)
+			return false
+		case *ast.SelectorExpr:
+			w.checkSelector(x, held)
+		case *ast.Ident:
+			w.checkLocal(x, held, inGo)
+		case *ast.ReturnStmt:
+			w.checkReturn(x, held)
+		}
+		return true
+	})
+}
+
+// checkSelector flags a guarded field touched without its guard.
+func (w *lockWalker) checkSelector(e *ast.SelectorExpr, held map[types.Object]bool) {
+	sel := w.pkg.Info.Selections[e]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	mutexes := w.guards[sel.Obj()]
+	if len(mutexes) == 0 {
+		return
+	}
+	for _, m := range mutexes {
+		if held[m] {
+			return
+		}
+	}
+	if w.fresh[rootIdentObj(w.pkg, e)] {
+		return // initializing a not-yet-shared object
+	}
+	w.a.reportf(w.pkg, e.Pos(), "unguarded-access", types.ExprString(e),
+		"%s is guarded by %s, which this code neither holds nor is annotated to inherit",
+		types.ExprString(e), mutexes[0].Name())
+}
+
+// checkLocal flags var-block-guarded locals used inside go literals
+// without the guard.
+func (w *lockWalker) checkLocal(id *ast.Ident, held map[types.Object]bool, inGo bool) {
+	if !inGo {
+		return
+	}
+	obj := w.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	mutexes := w.localGuards[obj]
+	if len(mutexes) == 0 {
+		return
+	}
+	for _, m := range mutexes {
+		if held[m] {
+			return
+		}
+	}
+	w.a.reportf(w.pkg, id.Pos(), "unguarded-access", id.Name,
+		"%s is guarded by %s and this goroutine does not lock it",
+		id.Name, mutexes[0].Name())
+}
+
+// checkReturn flags guarded reference values escaping the critical
+// section via return.
+func (w *lockWalker) checkReturn(ret *ast.ReturnStmt, held map[types.Object]bool) {
+	for _, r := range ret.Results {
+		e, ok := ast.Unparen(r).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		sel := w.pkg.Info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal || len(w.guards[sel.Obj()]) == 0 {
+			continue
+		}
+		t := sel.Obj().Type()
+		if !refType(t) {
+			continue // a value copy does not alias the guarded state
+		}
+		if w.annotated || selfSynchronized(t, 2) || w.fresh[rootIdentObj(w.pkg, e)] {
+			continue
+		}
+		w.a.reportf(w.pkg, r.Pos(), "guard-escape", types.ExprString(e),
+			"returning %s hands a guarded reference out of its critical section; clone it or annotate the contract",
+			types.ExprString(e))
+	}
+}

@@ -106,6 +106,21 @@ func TestSeededViolations(t *testing.T) {
 			"ctxflow/ctx-shim/Handle",
 			"ctxflow/ctx-unused/ctx",
 		}},
+		{"lockguard", []string{
+			"lockguard/guard-escape/b.items",
+			"lockguard/unguarded-access/b.items",
+			"lockguard/unguarded-access/c.n",
+			"lockguard/unguarded-access/c.total",
+		}},
+		{"cowdiscipline", []string{
+			"cowdiscipline/shared-mutation/append(rs, 1)",
+			"cowdiscipline/shared-mutation/delete(m, id)",
+			"cowdiscipline/shared-mutation/m[id]",
+		}},
+		{"snapshotimmut", []string{
+			"snapshotimmut/snapshot-mutator/v.Doc.Remove",
+			"snapshotimmut/snapshot-write/v.Restricted",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pass, func(t *testing.T) {
@@ -191,7 +206,7 @@ func TestBaselineSuppression(t *testing.T) {
 	}
 }
 
-// TestRepoSelfScan proves the repository itself passes all four passes
+// TestRepoSelfScan proves the repository itself passes all seven passes
 // under the committed baseline: no findings, and every baseline entry
 // still matches something (no stale entries). This is the same invariant
 // make vet enforces in CI.

@@ -1,0 +1,40 @@
+// Package cowbad seeds the cowdiscipline violations: values returned
+// under a "callers must clone" contract are mutated in place, leaking the
+// edit into every other holder of the shared value.
+package cowbad
+
+// registry interns per-user permission masks shared across sessions.
+type registry struct {
+	masks map[string]map[string]uint8
+}
+
+// masksFor returns the interned mask for user; callers must clone before
+// mutating.
+func (r *registry) masksFor(user string) map[string]uint8 {
+	return r.masks[user]
+}
+
+// Revoke edits the shared mask in place: every session holding it sees
+// the revocation — or worse, a concurrent map write.
+func Revoke(r *registry, user, id string) {
+	m := r.masksFor(user)
+	delete(m, id)
+	m[id] = 0
+}
+
+// bank holds interned dense row sets.
+type bank struct {
+	rows map[string][]int
+}
+
+// rowsFor returns the interned row set; callers must clone.
+func (b *bank) rowsFor(key string) []int {
+	return b.rows[key]
+}
+
+// Extend appends into the shared backing array: if spare capacity exists,
+// the write lands in the interned slice.
+func Extend(b *bank, key string) []int {
+	rs := b.rowsFor(key)
+	return append(rs, 1)
+}

@@ -1,0 +1,77 @@
+// Package cowgood is the conforming twin of cowbad: shared values are
+// cloned before mutation, either directly (maps.Clone, slices.Clone) or
+// through a clone-on-first-write helper, and freshly built values are
+// recognized as private.
+package cowgood
+
+import (
+	"maps"
+	"slices"
+)
+
+// registry interns per-user permission masks shared across sessions.
+type registry struct {
+	masks map[string]map[string]uint8
+}
+
+// masksFor returns the interned mask for user; callers must clone before
+// mutating.
+func (r *registry) masksFor(user string) map[string]uint8 {
+	return r.masks[user]
+}
+
+// Revoke clones the shared mask and edits the private copy.
+func Revoke(r *registry, user, id string) map[string]uint8 {
+	m := maps.Clone(r.masksFor(user))
+	delete(m, id)
+	m[id] = 0
+	return m
+}
+
+// bank holds interned dense row sets.
+type bank struct {
+	rows map[string][]int
+}
+
+// rowsFor returns the interned row set; callers must clone.
+func (b *bank) rowsFor(key string) []int {
+	return b.rows[key]
+}
+
+// Extend appends to a cloned slice, leaving the interned one untouched.
+func Extend(b *bank, key string) []int {
+	rs := slices.Clone(b.rowsFor(key))
+	return append(rs, 1)
+}
+
+// perms is a copy-on-write overlay owner in the style of policy.Perms.
+type perms struct {
+	user string
+	// grants is the merged mask, shared across sessions until the first
+	// write; callers must clone before mutating.
+	grants map[string]uint8
+	shared bool
+}
+
+// mutable makes grants private, cloning on first write.
+func (p *perms) mutable() {
+	if !p.shared {
+		return
+	}
+	g := maps.Clone(p.grants)
+	p.grants, p.shared = g, false
+}
+
+// Set edits through the clone-on-first-write helper.
+func (p *perms) Set(id string, v uint8) {
+	p.mutable()
+	p.grants[id] = v
+}
+
+// fresh assembles a brand-new perms: its grants map is private by
+// construction, so populating it needs no clone.
+func fresh(user string) *perms {
+	p := &perms{user: user, grants: map[string]uint8{}}
+	p.grants[user] = 1
+	return p
+}

@@ -1,0 +1,46 @@
+// Package lockguardbad seeds the lockguard violations: guarded fields
+// touched without their mutex, a guarded slice escaping its critical
+// section, and a goroutine capturing guarded state past the unlock.
+package lockguardbad
+
+import "sync"
+
+// Counter demonstrates both guard spellings: n is guarded by adjacency to
+// mu, total by an explicit annotation after the blank line.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+
+	// total is the running sum, guarded by mu.
+	total int
+}
+
+// Bump touches both guarded fields without taking the lock.
+func (c *Counter) Bump(v int) {
+	c.n++
+	c.total += v
+}
+
+// Box holds a guarded slice.
+type Box struct {
+	mu    sync.Mutex
+	items []string
+}
+
+// Items takes the lock but returns the guarded slice itself: the caller
+// keeps an alias the mutex no longer protects.
+func (b *Box) Items() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.items
+}
+
+// Spin captures guarded state in a goroutine that outlives the critical
+// section: the Lock below is released before the goroutine runs.
+func (b *Box) Spin() {
+	b.mu.Lock()
+	go func() {
+		b.items = nil
+	}()
+	b.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+// Package lockguardgood is the conforming twin of lockguardbad: guarded
+// fields are touched under the lock or behind a "callers hold"
+// annotation, constructors initialize fresh objects lock-free, values are
+// copied out of critical sections, and goroutines lock for themselves.
+package lockguardgood
+
+import "sync"
+
+// Store keeps immutable configuration above the guarded group.
+type Store struct {
+	name string // immutable after construction, set before sharing
+
+	mu    sync.Mutex
+	items map[string]int
+	count int
+}
+
+// NewStore initializes guarded fields on a fresh, not-yet-shared object:
+// no lock needed before the value escapes.
+func NewStore(name string) *Store {
+	s := &Store{name: name}
+	s.items = make(map[string]int)
+	return s
+}
+
+// Add records a key under the lock.
+func (s *Store) Add(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[key]++
+	s.count++
+}
+
+// size reports the entry count. Callers hold s.mu.
+func (s *Store) size() int { return s.count }
+
+// Len locks and delegates to the annotated helper.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size()
+}
+
+// Copy hands out an independent copy, not the guarded map.
+func (s *Store) Copy() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.items))
+	for k, v := range s.items {
+		out[k] = v
+	}
+	return out
+}
+
+// Tally coordinates goroutines over a var-block mutex: total is guarded
+// by adjacency, and every goroutine takes the lock itself.
+func Tally(keys []string) int {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+	)
+	for range keys {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,20 @@
+// Package snapbad seeds the snapshotimmut violations: a Session.View
+// snapshot is edited in place, corrupting the session's cached view and
+// the write path's identifier mapping.
+package snapbad
+
+import "securexml/internal/core"
+
+// Scrub removes nodes from the shared snapshot document and resets its
+// accounting: both writes land in the session's cached view.
+func Scrub(s *core.Session) error {
+	v, err := s.View()
+	if err != nil {
+		return err
+	}
+	for _, c := range v.Doc.Root().Children() {
+		_ = v.Doc.Remove(c)
+	}
+	v.Restricted = 0
+	return nil
+}
