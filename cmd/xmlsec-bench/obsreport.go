@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,8 +20,9 @@ import (
 	"securexml/internal/xupdate"
 )
 
-// obsSchema versions the report layout for the validator and CI.
-const obsSchema = "securexml/bench-obs/v1"
+// obsSchema versions the report layout for the validator and CI. v2 adds
+// the tracing-off vs tracing-on overhead comparison.
+const obsSchema = "securexml/bench-obs/v2"
 
 // ObsStage is one pipeline stage's latency summary, in seconds.
 type ObsStage struct {
@@ -36,6 +38,21 @@ type ObsCache struct {
 	Hits    uint64  `json:"hits"`
 	Misses  uint64  `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+}
+
+// ObsTracing compares the same workload with request tracing off (no
+// trace in the context — the production default outside the HTTP server)
+// and on (one trace per operation through a Tracer).
+type ObsTracing struct {
+	OffOpsPerSec float64 `json:"off_ops_per_sec"`
+	OnOpsPerSec  float64 `json:"on_ops_per_sec"`
+	// OverheadPct is the throughput lost with tracing on, in percent of
+	// the tracing-off rate (negative means noise made the traced pass
+	// faster).
+	OverheadPct float64 `json:"overhead_pct"`
+	// Traces is how many finished traces the ring retained (capped at the
+	// ring capacity).
+	Traces int `json:"traces"`
 }
 
 // ObsConfig records how the workload was sized.
@@ -56,6 +73,7 @@ type ObsReport struct {
 	Cache          ObsCache            `json:"cache"`
 	Decisions      map[string]uint64   `json:"decisions"`
 	Counters       map[string]uint64   `json:"counters"`
+	Tracing        ObsTracing          `json:"tracing"`
 }
 
 // obsStages are the pipeline stages the report (and CI) must cover.
@@ -93,33 +111,49 @@ func obsDatabase(patients int) (*core.Database, error) {
 	return db, nil
 }
 
-// runObs executes the workload and returns the report. The registry is
-// process-global, so it is reset first; the experiment therefore cannot run
-// concurrently with other registry users.
-func runObs(patients, iters int) (*ObsReport, error) {
-	db, err := obsDatabase(patients)
-	if err != nil {
-		return nil, err
+// obsOp runs one workload operation, under a per-operation trace when a
+// tracer is given (the tracing-on pass) and untraced otherwise.
+func obsOp(tracer *obs.Tracer, name string, f func(context.Context) error) error {
+	ctx := context.Background()
+	if tracer != nil {
+		var t *obs.Trace
+		ctx, t = tracer.StartTrace(ctx, name)
+		defer t.Finish()
 	}
+	return f(ctx)
+}
+
+// obsWorkload drives the mixed query/update loop against db and returns
+// how many operations ran and how long the loop took. With a tracer every
+// operation runs under its own trace; with nil the context carries no
+// trace, which is the production default outside the HTTP server.
+func obsWorkload(db *core.Database, patients, iters int, tracer *obs.Tracer) (int, time.Duration, error) {
 	doctor, err := db.Session("laporte")
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	secretary, err := db.Session("beaufort")
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	obs.Default().Reset()
 	ops := 0
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		if _, err := doctor.Query("//diagnosis"); err != nil {
-			return nil, err
+		err := obsOp(tracer, "bench_query", func(ctx context.Context) error {
+			_, err := doctor.QueryCtx(ctx, "//diagnosis")
+			return err
+		})
+		if err != nil {
+			return 0, 0, err
 		}
 		ops++
 		if i%5 == 0 {
-			if _, err := secretary.QueryValue("count(//service)"); err != nil {
-				return nil, err
+			err := obsOp(tracer, "bench_value", func(ctx context.Context) error {
+				_, err := secretary.QueryValueCtx(ctx, "count(//service)")
+				return err
+			})
+			if err != nil {
+				return 0, 0, err
 			}
 			ops++
 		}
@@ -131,13 +165,32 @@ func runObs(patients, iters int) (*ObsReport, error) {
 				Select:   fmt.Sprintf("/patients/p%d/diagnosis", i%patients),
 				NewValue: fmt.Sprintf("revised-%d", i),
 			}
-			if _, err := doctor.Update(op); err != nil {
-				return nil, err
+			err := obsOp(tracer, "bench_update", func(ctx context.Context) error {
+				_, err := doctor.UpdateCtx(ctx, op)
+				return err
+			})
+			if err != nil {
+				return 0, 0, err
 			}
 			ops++
 		}
 	}
-	elapsed := time.Since(start)
+	return ops, time.Since(start), nil
+}
+
+// runObs executes the workload and returns the report. The registry is
+// process-global, so it is reset first; the experiment therefore cannot run
+// concurrently with other registry users.
+func runObs(patients, iters int) (*ObsReport, error) {
+	db, err := obsDatabase(patients)
+	if err != nil {
+		return nil, err
+	}
+	obs.Default().Reset()
+	ops, elapsed, err := obsWorkload(db, patients, iters, nil)
+	if err != nil {
+		return nil, err
+	}
 
 	snap := obs.Default().Snapshot()
 	rep := &ObsReport{
@@ -172,6 +225,25 @@ func runObs(patients, iters int) (*ObsReport, error) {
 	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
 		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
 	}
+
+	// Tracing-on pass: the same workload on a fresh database (so both
+	// passes start cold), one trace per operation. The registry snapshot
+	// above is untouched — it describes the tracing-off pass only.
+	tracedDB, err := obsDatabase(patients)
+	if err != nil {
+		return nil, err
+	}
+	tracer := obs.NewTracer(0, 0, nil)
+	opsOn, elapsedOn, err := obsWorkload(tracedDB, patients, iters, tracer)
+	if err != nil {
+		return nil, err
+	}
+	rep.Tracing = ObsTracing{
+		OffOpsPerSec: rep.OpsPerSec,
+		OnOpsPerSec:  float64(opsOn) / elapsedOn.Seconds(),
+		Traces:       len(tracer.Summaries()),
+	}
+	rep.Tracing.OverheadPct = (1 - rep.Tracing.OnOpsPerSec/rep.Tracing.OffOpsPerSec) * 100
 	return rep, nil
 }
 
@@ -198,6 +270,8 @@ func bObs() error {
 		st := rep.Stages[name]
 		fmt.Printf("%20s %10d %12.6f %12.6f %12.6f\n", name, st.Count, st.P50, st.P95, st.P99)
 	}
+	fmt.Printf("tracing: off=%.0f ops/sec on=%.0f ops/sec overhead=%.1f%% traces=%d\n",
+		rep.Tracing.OffOpsPerSec, rep.Tracing.OnOpsPerSec, rep.Tracing.OverheadPct, rep.Tracing.Traces)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -248,6 +322,16 @@ func validateObsReport(path string) (*ObsReport, error) {
 	}
 	if len(rep.Decisions) == 0 {
 		return nil, fmt.Errorf("%s: no policy decisions recorded", path)
+	}
+	if rep.Tracing.OffOpsPerSec <= 0 || rep.Tracing.OnOpsPerSec <= 0 {
+		return nil, fmt.Errorf("%s: non-positive tracing throughput (off=%g on=%g)",
+			path, rep.Tracing.OffOpsPerSec, rep.Tracing.OnOpsPerSec)
+	}
+	if rep.Tracing.Traces <= 0 {
+		return nil, fmt.Errorf("%s: tracing-on pass recorded no traces", path)
+	}
+	if rep.Tracing.OverheadPct >= 100 || rep.Tracing.OverheadPct <= -100 {
+		return nil, fmt.Errorf("%s: implausible tracing overhead %g%%", path, rep.Tracing.OverheadPct)
 	}
 	return &rep, nil
 }

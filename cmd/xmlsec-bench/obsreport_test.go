@@ -24,6 +24,13 @@ func TestObsReportRoundTrip(t *testing.T) {
 	if rep.Cache.HitRate <= 0 || rep.Cache.HitRate >= 1 {
 		t.Errorf("hit rate %g, want in (0,1) for a mixed workload", rep.Cache.HitRate)
 	}
+	if rep.Tracing.OffOpsPerSec <= 0 || rep.Tracing.OnOpsPerSec <= 0 {
+		t.Errorf("tracing throughput off=%g on=%g, want positive",
+			rep.Tracing.OffOpsPerSec, rep.Tracing.OnOpsPerSec)
+	}
+	if rep.Tracing.Traces <= 0 {
+		t.Errorf("tracing pass retained %d traces, want > 0", rep.Tracing.Traces)
+	}
 	path := filepath.Join(t.TempDir(), "obs.json")
 	raw, err := json.Marshal(rep)
 	if err != nil {
@@ -52,7 +59,8 @@ func TestValidateObsReportRejects(t *testing.T) {
 	}{
 		{write("garbage.json", "not json"), "not valid JSON"},
 		{write("schema.json", `{"schema":"other/v9"}`), "schema"},
-		{write("empty.json", `{"schema":"securexml/bench-obs/v1","ops":1,"elapsed_seconds":1,"ops_per_sec":1}`), "stage"},
+		{write("v1.json", `{"schema":"securexml/bench-obs/v1"}`), "schema"},
+		{write("empty.json", `{"schema":"securexml/bench-obs/v2","ops":1,"elapsed_seconds":1,"ops_per_sec":1}`), "stage"},
 	}
 	for _, c := range cases {
 		_, err := validateObsReport(c.file)

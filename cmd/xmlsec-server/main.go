@@ -14,7 +14,10 @@
 //
 // Telemetry is always on: Prometheus text on /metrics, an expvar snapshot
 // on /debug/vars, and a structured JSON access log (stderr by default,
-// -accesslog off to silence).
+// -accesslog off to silence). Every request is traced into a bounded
+// in-memory ring: GET /traces lists recent summaries, GET /trace/{id}
+// returns the full span tree, and -slowtrace sets the latency above
+// which whole trees are logged through the access logger.
 package main
 
 import (
@@ -53,6 +56,7 @@ func main() {
 	pprof := flag.Bool("pprof", false, "expose runtime profiles under /debug/pprof/")
 	accessLog := flag.String("accesslog", "stderr", `structured access log: "stderr", "off", or a file path`)
 	warm := flag.Int("warm", 0, "pre-materialize every user's view at startup through this many workers (0 = off)")
+	slowTrace := flag.Duration("slowtrace", 500*time.Millisecond, "log the full span tree of requests slower than this (0 = off)")
 	flag.Parse()
 
 	var db *core.Database
@@ -100,7 +104,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	var opts []server.Option
+	opts := []server.Option{server.WithSlowTraceThreshold(*slowTrace)}
 	if *pprof {
 		opts = append(opts, server.WithPprof())
 		fmt.Println("pprof enabled on /debug/pprof/")

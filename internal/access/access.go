@@ -22,6 +22,7 @@
 package access
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -70,6 +71,14 @@ func Execute(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, us
 // placeholders) is expanded against the user's *view*, so inserted copies
 // can never carry data the user may not read.
 func ExecuteWithVars(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, user string, op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, *view.View, error) {
+	return ExecuteWithVarsCtx(context.Background(), doc, h, pol, user, op, extra)
+}
+
+// ExecuteWithVarsCtx is ExecuteWithVars with request-scoped tracing: under
+// an active trace the policy evaluation, view materialization, view-select
+// and axiom 18–25 application loop all appear as child spans, the latter
+// annotated with the op kind and per-node accounting.
+func ExecuteWithVarsCtx(ctx context.Context, doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, user string, op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, *view.View, error) {
 	if !h.Exists(user) {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
 	}
@@ -79,11 +88,11 @@ func ExecuteWithVars(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Po
 	if op.Kind == xupdate.Variable {
 		return nil, nil, fmt.Errorf("access: variable bindings need a sequence context (Session.Apply)")
 	}
-	pm, err := pol.Evaluate(doc, h, user)
+	pm, err := pol.EvaluateCtx(ctx, doc, h, user)
 	if err != nil {
 		return nil, nil, err
 	}
-	v := view.Materialize(doc, pm)
+	v := view.MaterializeCtx(ctx, doc, pm)
 	vars := make(xpath.Vars, len(extra)+1)
 	for k, val := range extra {
 		vars[k] = val
@@ -99,15 +108,17 @@ func ExecuteWithVars(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Po
 		cp.Content = expanded
 		run = &cp
 	}
-	selSpan := obs.StartSpan(selectStage)
+	_, selSpan := obs.StartSpanCtx(ctx, "view_select", selectStage)
 	sel, err := xpath.Select(v.Doc, run.Select, vars)
+	selSpan.AnnotateInt("selected", int64(len(sel)))
 	selSpan.End()
 	if err != nil {
 		opOutcome(op.Kind, "error")
 		return nil, nil, fmt.Errorf("access: evaluating select path on view: %w", err)
 	}
 	res := &xupdate.Result{Selected: len(sel)}
-	applySpan := obs.StartSpan(applyStage)
+	_, applySpan := obs.StartSpanCtx(ctx, "secured_apply", applyStage)
+	applySpan.Annotate("kind", op.Kind.MetricLabel())
 	for _, vn := range sel {
 		if err := applySecured(doc, pm, v, run, vn, res); err != nil {
 			applySpan.End()
@@ -115,6 +126,8 @@ func ExecuteWithVars(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Po
 			return nil, nil, err
 		}
 	}
+	applySpan.AnnotateInt("applied", int64(res.Applied))
+	applySpan.AnnotateInt("skipped", int64(len(res.Skipped)))
 	applySpan.End()
 	nodesApplied.Add(uint64(res.Applied))
 	nodesSkipped.Add(uint64(len(res.Skipped)))

@@ -62,6 +62,11 @@ var (
 	incFallbackIneligible = obs.Default().Counter("xmlsec_view_incremental_fallback_total", "reason", "ineligible")
 	incFallbackGap        = obs.Default().Counter("xmlsec_view_incremental_fallback_total", "reason", "gap")
 	incFallbackError      = obs.Default().Counter("xmlsec_view_incremental_fallback_total", "reason", "error")
+
+	// auditDepth tracks the audit ring's current occupancy, so operators
+	// can see eviction pressure (the ring drops oldest entries at the
+	// configured limit) before entries are silently lost.
+	auditDepth = obs.Default().Gauge("xmlsec_audit_ring_depth")
 )
 
 // sessionOp counts one session operation by name and outcome (ok | error).
@@ -469,6 +474,7 @@ func (db *Database) recordFull(user, action, detail, outcome, reqID string, d ti
 	if len(db.audit) > db.auditLimit {
 		db.audit = db.audit[len(db.audit)-db.auditLimit:]
 	}
+	auditDepth.Set(int64(len(db.audit)))
 }
 
 // Audit returns a snapshot of the audit log, oldest first.
@@ -562,45 +568,59 @@ func (s *Session) vars() xpath.Vars {
 // (read or write): patching happens under s.mu, and any later write that
 // could patch again is excluded by db.mu for as long as the caller reads
 // the returned view.
-func (s *Session) currentView() (*view.View, error) {
+func (s *Session) currentView(ctx context.Context) (*view.View, error) {
+	v, _, err := s.currentViewPerms(ctx)
+	return v, err
+}
+
+// currentViewPerms is currentView exposing the axiom-14 permissions the
+// view was derived from (the Explain layer re-reads the same cell the
+// production path served). Callers must hold db.mu, exactly like
+// currentView, and for the same reasons.
+func (s *Session) currentViewPerms(ctx context.Context) (*view.View, *policy.Perms, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ver, epoch, gen := s.db.doc.Version(), s.db.policyEpoch, s.db.docGen
 	if s.cached != nil && s.cachedGen == gen && s.cachedVer == ver && s.cachedEpoch == epoch {
 		cacheHits.Inc()
-		return s.cached, nil
+		obs.AnnotateCtx(ctx, "view_source", "cache_hit")
+		return s.cached, s.cachedPerms, nil
 	}
 	if s.cached != nil && s.cachedPerms != nil && s.cachedGen == gen && s.cachedEpoch == epoch &&
-		s.tryIncremental(ver) {
+		s.tryIncremental(ctx, ver) {
 		// Counted as xmlsec_view_incremental_applied_total by the view
 		// package — neither a plain hit nor a materializing miss.
-		return s.cached, nil
+		obs.AnnotateCtx(ctx, "view_source", "incremental")
+		return s.cached, s.cachedPerms, nil
 	}
 	switch {
 	case s.cached == nil:
 		cacheMissCold.Inc()
+		obs.AnnotateCtx(ctx, "view_source", "materialize_cold")
 	case s.cachedGen != gen || s.cachedVer != ver:
 		cacheMissDoc.Inc()
+		obs.AnnotateCtx(ctx, "view_source", "materialize_doc")
 	default:
 		cacheMissEpoch.Inc()
+		obs.AnnotateCtx(ctx, "view_source", "materialize_epoch")
 	}
-	pm, err := s.db.policy.EvaluateShared(s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+	pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s.cached = view.Materialize(s.db.doc, pm)
+	s.cached = view.MaterializeCtx(ctx, s.db.doc, pm)
 	s.cachedPerms = pm
 	s.cachedVer = ver
 	s.cachedEpoch = epoch
 	s.cachedGen = gen
-	return s.cached, nil
+	return s.cached, s.cachedPerms, nil
 }
 
 // tryIncremental patches the cached view from s.cachedVer up to ver using
 // the database delta log. It reports whether the cache is now current; on
 // false the caller re-materializes (and the reason was counted). Callers
 // hold s.mu and db.mu.
-func (s *Session) tryIncremental(ver uint64) bool {
+func (s *Session) tryIncremental(ctx context.Context, ver uint64) bool {
 	if !s.maintReady || s.maintEpoch != s.cachedEpoch {
 		s.maint, _ = view.NewMaintainer(s.db.policy, s.db.subjects, s.user)
 		s.maintEpoch = s.cachedEpoch
@@ -608,20 +628,23 @@ func (s *Session) tryIncremental(ver uint64) bool {
 	}
 	if s.maint == nil {
 		incFallbackIneligible.Inc()
+		obs.AnnotateCtx(ctx, "incremental_fallback", "ineligible")
 		return false
 	}
 	chain, ok := s.db.deltaChain(s.cachedVer, ver)
 	if !ok {
 		incFallbackGap.Inc()
+		obs.AnnotateCtx(ctx, "incremental_fallback", "gap")
 		return false
 	}
 	for _, deltas := range chain {
-		if err := s.maint.Apply(s.cached, s.db.doc, s.cachedPerms, deltas); err != nil {
+		if err := s.maint.ApplyCtx(ctx, s.cached, s.db.doc, s.cachedPerms, deltas); err != nil {
 			// The view may be half-patched: poison it so the rebuild below
 			// starts cold instead of serving damaged state.
 			s.cached = nil
 			s.cachedPerms = nil
 			incFallbackError.Inc()
+			obs.AnnotateCtx(ctx, "incremental_fallback", "error")
 			return false
 		}
 	}
@@ -641,10 +664,10 @@ func (s *Session) View() (*view.View, error) {
 // views are rebuilt implicitly on most operations and would drown the
 // log).
 func (s *Session) ViewCtx(ctx context.Context) (*view.View, error) {
-	sp := obs.StartSpan(viewStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_view", viewStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	v, err := s.currentView()
+	v, err := s.currentView(ctx)
 	if err != nil {
 		sessionOp("view", "error")
 		s.db.recordCtx(ctx, "view", s.user, "", "error: "+err.Error(), sp.End())
@@ -664,10 +687,10 @@ func (s *Session) ViewXML() (string, error) {
 // under the database read lock, against the shared cached view — no
 // snapshot copy.
 func (s *Session) ViewXMLCtx(ctx context.Context) (string, error) {
-	sp := obs.StartSpan(viewStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_view", viewStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	v, err := s.currentView()
+	v, err := s.currentView(ctx)
 	if err != nil {
 		sessionOp("view", "error")
 		s.db.recordCtx(ctx, "view", s.user, "", "error: "+err.Error(), sp.End())
@@ -696,17 +719,18 @@ func (s *Session) Query(path string) ([]Result, error) {
 // QueryCtx is Query with a request context: the request ID (if any) is
 // threaded into the audit entry alongside the operation's duration.
 func (s *Session) QueryCtx(ctx context.Context, path string) ([]Result, error) {
-	sp := obs.StartSpan(queryStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_query", queryStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	v, err := s.currentView()
+	v, err := s.currentView(ctx)
 	if err != nil {
 		sessionOp("query", "error")
 		s.db.recordCtx(ctx, "query", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
-	xe := obs.StartSpan(xpathStage)
+	_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
 	ns, err := xpath.Select(v.Doc, path, s.vars())
+	xe.AnnotateInt("selected", int64(len(ns)))
 	xe.End()
 	if err != nil {
 		sessionOp("query", "error")
@@ -732,10 +756,10 @@ func (s *Session) QueryValue(path string) (xpath.Value, error) {
 // any) is threaded into the audit entry alongside the operation's
 // duration.
 func (s *Session) QueryValueCtx(ctx context.Context, path string) (xpath.Value, error) {
-	sp := obs.StartSpan(valueStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_query_value", valueStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	v, err := s.currentView()
+	v, err := s.currentView(ctx)
 	if err != nil {
 		sessionOp("query_value", "error")
 		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
@@ -747,7 +771,7 @@ func (s *Session) QueryValueCtx(ctx context.Context, path string) (xpath.Value, 
 		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
-	xe := obs.StartSpan(xpathStage)
+	_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
 	val, err := c.Eval(v.Doc.Root(), s.vars())
 	xe.End()
 	if err != nil {
@@ -778,7 +802,7 @@ func (s *Session) Update(op *xupdate.Op) (*xupdate.Result, error) {
 func (s *Session) UpdateCtx(ctx context.Context, op *xupdate.Op) (*xupdate.Result, error) {
 	res, err := s.updateWithVars(ctx, op, nil)
 	if err == nil && s.db.journal != nil && res.Applied > 0 {
-		if jerr := s.journalOp(op); jerr != nil {
+		if jerr := s.journalOp(ctx, op); jerr != nil {
 			return res, fmt.Errorf("core: operation applied but journaling failed: %w", jerr)
 		}
 	}
@@ -786,21 +810,21 @@ func (s *Session) UpdateCtx(ctx context.Context, op *xupdate.Op) (*xupdate.Resul
 }
 
 // journalOp appends a single-operation modification document.
-func (s *Session) journalOp(op *xupdate.Op) error {
+func (s *Session) journalOp(ctx context.Context, op *xupdate.Op) error {
 	doc, err := xupdate.ModificationsString([]*xupdate.Op{op})
 	if err != nil {
 		return err
 	}
-	_, err = s.db.journal.Append(s.user, doc)
+	_, err = s.db.journal.AppendCtx(ctx, s.user, doc)
 	return err
 }
 
 func (s *Session) updateWithVars(ctx context.Context, op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, error) {
-	sp := obs.StartSpan(updateStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_update", updateStage)
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	fromVer := s.db.doc.Version()
-	res, _, err := access.ExecuteWithVars(s.db.doc, s.db.subjects, s.db.policy, s.user, op, extra)
+	res, _, err := access.ExecuteWithVarsCtx(ctx, s.db.doc, s.db.subjects, s.db.policy, s.user, op, extra)
 	if err != nil {
 		// A failed executor may have partially mutated the document; no
 		// batch is recorded, so the version gap forces session caches to
@@ -831,7 +855,7 @@ func (s *Session) Apply(modifications string) ([]*xupdate.Result, error) {
 
 // ApplyCtx is Apply with a request context.
 func (s *Session) ApplyCtx(ctx context.Context, modifications string) ([]*xupdate.Result, error) {
-	sp := obs.StartSpan(applyStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_apply", applyStage)
 	results, err := s.apply(ctx, modifications)
 	if err != nil {
 		sp.End()
@@ -841,7 +865,7 @@ func (s *Session) ApplyCtx(ctx context.Context, modifications string) ([]*xupdat
 	sp.End()
 	sessionOp("apply", "ok")
 	if s.db.journal != nil && anyApplied(results) {
-		if _, jerr := s.db.journal.Append(s.user, modifications); jerr != nil {
+		if _, jerr := s.db.journal.AppendCtx(ctx, s.user, modifications); jerr != nil {
 			return results, fmt.Errorf("core: modifications applied but journaling failed: %w", jerr)
 		}
 	}
@@ -970,7 +994,7 @@ func (s *Session) Transform(stylesheet string) (string, error) {
 
 // TransformCtx is Transform with a request context.
 func (s *Session) TransformCtx(ctx context.Context, stylesheet string) (string, error) {
-	sp := obs.StartSpan(transformStage)
+	ctx, sp := obs.StartSpanCtx(ctx, "session_transform", transformStage)
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
 		sp.End()
@@ -979,7 +1003,7 @@ func (s *Session) TransformCtx(ctx context.Context, stylesheet string) (string, 
 	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	pm, err := s.db.policy.EvaluateShared(s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+	pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
 	if err != nil {
 		sp.End()
 		sessionOp("transform", "error")

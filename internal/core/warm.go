@@ -21,7 +21,7 @@ var warmPoolActive = obs.Default().Gauge("xmlsec_warm_pool_active")
 func (s *Session) Warm(ctx context.Context) error {
 	start := time.Now()
 	s.db.mu.RLock()
-	_, err := s.currentView()
+	_, err := s.currentView(ctx)
 	s.db.mu.RUnlock()
 	if err != nil {
 		sessionOp("warm", "error")

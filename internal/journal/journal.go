@@ -16,16 +16,27 @@ package journal
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"sync"
+
+	"securexml/internal/obs"
 )
 
 // ErrCorrupt is wrapped by all malformed-journal errors.
 var ErrCorrupt = errors.New("journal: corrupt entry")
+
+// Telemetry: commit latency (the ROADMAP durability item) — how long one
+// journal append, i.e. the write making an executed modification durable,
+// takes end to end — plus the appended payload volume.
+var (
+	commitHist = obs.Default().Histogram("xmlsec_journal_commit_seconds", obs.LatencyBuckets)
+	appended   = obs.Default().Counter("xmlsec_journal_appended_bytes_total")
+)
 
 // Entry is one logged command.
 type Entry struct {
@@ -53,9 +64,20 @@ func NewWriter(w io.Writer, seqStart uint64) *Writer {
 // Append logs one executed modification document and returns its sequence
 // number.
 func (jw *Writer) Append(user, modifications string) (uint64, error) {
+	return jw.AppendCtx(context.Background(), user, modifications)
+}
+
+// AppendCtx is Append with request-scoped tracing: the commit is recorded
+// into the commit-latency histogram and, under an active trace, as a
+// journal_append span annotated with the payload size.
+func (jw *Writer) AppendCtx(ctx context.Context, user, modifications string) (uint64, error) {
 	if strings.ContainsAny(user, " \n") {
 		return 0, fmt.Errorf("journal: user %q contains framing bytes", user)
 	}
+	_, sp := obs.StartSpanCtx(ctx, "journal_append", commitHist)
+	defer sp.End()
+	sp.AnnotateInt("bytes", int64(len(modifications)))
+	appended.Add(uint64(len(modifications)))
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	jw.seq++

@@ -39,21 +39,93 @@ func NewRequestID() string {
 		strconv.FormatUint(reqSeq.Add(1), 16)
 }
 
-// Span times one stage of a request into a histogram.
+// Span times one stage of a request into a histogram and — when started
+// with StartSpanCtx under an active trace — into a node of that trace's
+// span tree.
 type Span struct {
 	hist  *Histogram
 	start time.Time
+	cs    ctxSpan
+	d     time.Duration
+	ended bool
 }
 
-// StartSpan starts timing against h (which may be nil for a plain timer).
-func StartSpan(h *Histogram) Span { return Span{hist: h, start: time.Now()} }
+// NewSpan starts timing against h (which may be nil for a plain timer).
+// The span is not attached to any trace; use StartSpanCtx for that.
+func NewSpan(h *Histogram) Span { return Span{hist: h, start: time.Now()} }
 
-// End stops the span, records the duration and returns it. Safe to call
-// multiple times; every call records.
-func (s Span) End() time.Duration {
-	d := time.Since(s.start)
-	if s.hist != nil {
-		s.hist.ObserveDuration(d)
+// StartSpanCtx starts a span named name timing against h (which may be
+// nil). When ctx carries an active trace, the span becomes a child of the
+// context's current span and the returned context carries it as the new
+// current span; otherwise the returned context is ctx unchanged and the
+// only cost over NewSpan is one context lookup.
+func StartSpanCtx(ctx context.Context, name string, h *Histogram) (context.Context, Span) {
+	sp := Span{hist: h, start: time.Now()}
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, sp
 	}
-	return d
+	node := tr.startSpan(spanNode(ctx), name, sp.start)
+	if node == nil { // trace finished, or its span budget is exhausted
+		return ctx, sp
+	}
+	sp.cs = ctxSpan{tr: tr, node: node}
+	return context.WithValue(ctx, spanKey{}, sp.cs), sp
+}
+
+// End stops the span, records the duration into the histogram and the
+// trace node (if any), and returns it. End is idempotent: only the first
+// call records; later calls return the already-recorded duration, so a
+// deferred End after an explicit one no longer doubles histogram counts.
+func (s *Span) End() time.Duration {
+	if s.ended {
+		return s.d
+	}
+	s.ended = true
+	s.d = time.Since(s.start)
+	if s.hist != nil {
+		s.hist.ObserveDuration(s.d)
+		if s.cs.tr != nil {
+			s.hist.noteExemplar(s.d.Seconds(), s.cs.tr.ID())
+		}
+	}
+	if s.cs.tr != nil {
+		s.cs.tr.endSpan(s.cs.node, s.d)
+	}
+	return s.d
+}
+
+// Annotate attaches a key/value attribute to the span's trace node; a
+// no-op for spans not attached to a trace. Both key and value must be
+// compile-time bounded (vet: obslabel); use AnnotateInt for dynamic
+// numbers.
+func (s *Span) Annotate(key, value string) {
+	if s.cs.tr != nil {
+		s.cs.tr.annotate(s.cs.node, key, value)
+	}
+}
+
+// AnnotateInt attaches an integer attribute to the span's trace node; a
+// no-op for spans not attached to a trace.
+func (s *Span) AnnotateInt(key string, v int64) {
+	if s.cs.tr != nil {
+		s.cs.tr.annotate(s.cs.node, key, strconv.FormatInt(v, 10))
+	}
+}
+
+// AnnotateCtx attaches a key/value attribute to the current span carried
+// by ctx; a no-op outside a trace. It lets callees annotate their caller's
+// span without threading the Span handle through the call chain.
+func AnnotateCtx(ctx context.Context, key, value string) {
+	if cs, ok := ctx.Value(spanKey{}).(ctxSpan); ok && cs.tr != nil {
+		cs.tr.annotate(cs.node, key, value)
+	}
+}
+
+// AnnotateIntCtx attaches an integer attribute to the current span carried
+// by ctx; a no-op outside a trace.
+func AnnotateIntCtx(ctx context.Context, key string, v int64) {
+	if cs, ok := ctx.Value(spanKey{}).(ctxSpan); ok && cs.tr != nil {
+		cs.tr.annotate(cs.node, key, strconv.FormatInt(v, 10))
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus writes every series in the Prometheus text exposition
@@ -33,7 +34,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		group := byName[name]
 		sort.Slice(group, func(i, j int) bool { return group[i].id < group[j].id })
 		if h := help[name]; h != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
 				return err
 			}
 		}
@@ -77,13 +78,30 @@ func writeSeries(w io.Writer, s *series) error {
 			s.name, labelString(s.labels, "", ""), formatFloat(h.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
-			s.name, labelString(s.labels, "", ""), h.Count())
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			s.name, labelString(s.labels, "", ""), h.Count()); err != nil {
+			return err
+		}
+		// The max-latency exemplar is emitted as a comment line: the 0.0.4
+		// text format has no exemplar syntax, and a comment keeps every
+		// parser happy while still putting the trace ID next to its series.
+		if id, v, ok := h.Exemplar(); ok {
+			if _, err := fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%q value=%s\n",
+				s.name, labelString(s.labels, "", ""), id, formatFloat(v)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// helpEscaper implements the 0.0.4 HELP escaping (backslash and newline
+// only — quotes are legal in help text, unlike in label values).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
 
 // CounterSnap is one counter series in a Snapshot.
 type CounterSnap struct {
@@ -112,6 +130,11 @@ type HistogramSnap struct {
 	P50    float64           `json:"p50"`
 	P95    float64           `json:"p95"`
 	P99    float64           `json:"p99"`
+
+	// ExemplarTraceID/ExemplarSeconds identify the largest traced
+	// observation of the series (empty when tracing is off).
+	ExemplarTraceID string  `json:"exemplar_trace_id,omitempty"`
+	ExemplarSeconds float64 `json:"exemplar_seconds,omitempty"`
 }
 
 // Snapshot is a structured point-in-time copy of a registry, ordered by
@@ -146,11 +169,13 @@ func (r *Registry) Snapshot() *Snapshot {
 			})
 		default:
 			h := s.hist
-			snap.Histograms = append(snap.Histograms, HistogramSnap{
+			hs := HistogramSnap{
 				ID: s.id, Name: s.name, Labels: labelMap(s.labels),
 				Count: h.Count(), Sum: h.Sum(),
 				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
-			})
+			}
+			hs.ExemplarTraceID, hs.ExemplarSeconds, _ = h.Exemplar()
+			snap.Histograms = append(snap.Histograms, hs)
 		}
 	}
 	return snap

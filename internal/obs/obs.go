@@ -65,6 +65,13 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(uppers)+1; last is the +Inf overflow
 	sumBits atomic.Uint64
 	total   atomic.Uint64
+
+	exMu sync.Mutex
+	// exID and exV are the series' max-latency exemplar — the trace ID and
+	// value of the largest traced observation since the last reset; both
+	// are guarded by exMu.
+	exID string
+	exV  float64
 }
 
 func newHistogram(uppers []float64) *Histogram {
@@ -133,12 +140,39 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.uppers[len(h.uppers)-1]
 }
 
+// noteExemplar records a traced observation, keeping the largest value
+// seen since the last reset so a p99 outlier on /metrics links back to
+// the trace that produced it. Only traced spans call it, so untraced hot
+// paths never touch the exemplar mutex.
+func (h *Histogram) noteExemplar(v float64, traceID string) {
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if h.exID == "" || v >= h.exV {
+		h.exID, h.exV = traceID, v
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the max-latency exemplar's trace ID and value; ok is
+// false when no traced observation has been recorded since the last
+// reset.
+func (h *Histogram) Exemplar() (traceID string, v float64, ok bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exID, h.exV, h.exID != ""
+}
+
 func (h *Histogram) reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)
 	}
 	h.total.Store(0)
 	h.sumBits.Store(0)
+	h.exMu.Lock()
+	h.exID, h.exV = "", 0
+	h.exMu.Unlock()
 }
 
 type kind uint8

@@ -190,6 +190,39 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Help("m_total", "line one\nline \\two")
+	r.Counter("m_total").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP m_total line one\nline \\two`+"\n") {
+		t.Fatalf("help escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestWritePrometheusEmptyRegistry(t *testing.T) {
+	r := NewRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("empty registry wrote %q, want empty output", b.String())
+	}
+	// Help for a never-registered metric must not invent a series either.
+	r.Help("ghost_total", "never registered")
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("help-only registry wrote %q, want empty output", b.String())
+	}
+}
+
 func TestSnapshotAndReset(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c_total", "x", "1")
@@ -239,7 +272,7 @@ func TestRequestIDContext(t *testing.T) {
 func TestSpanRecords(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("span_seconds", []float64{10})
-	sp := StartSpan(h)
+	sp := NewSpan(h)
 	time.Sleep(time.Millisecond)
 	d := sp.End()
 	if d <= 0 {
@@ -249,8 +282,41 @@ func TestSpanRecords(t *testing.T) {
 		t.Fatalf("span did not record: count = %d", h.Count())
 	}
 	// nil histogram span is a plain timer
-	if d := StartSpan(nil).End(); d < 0 {
+	nilSpan := NewSpan(nil)
+	if d := nilSpan.End(); d < 0 {
 		t.Fatalf("nil span duration = %v", d)
+	}
+}
+
+// TestSpanEndIdempotent is the regression test for the double-record
+// footgun: an explicit End followed by a deferred End used to observe the
+// histogram twice.
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", []float64{10})
+	sp := NewSpan(h)
+	first := sp.End()
+	second := sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("double End recorded %d observations, want 1", h.Count())
+	}
+	if first != second {
+		t.Fatalf("second End returned %v, want the recorded %v", second, first)
+	}
+	// The same holds for trace-attached spans: one histogram observation,
+	// one finished trace node.
+	tr := NewTracer(4, 0, nil)
+	ctx, trace := tr.StartTrace(context.Background(), "req")
+	_, child := StartSpanCtx(ctx, "stage", h)
+	child.End()
+	child.End()
+	trace.Finish()
+	if h.Count() != 2 {
+		t.Fatalf("traced double End: histogram count = %d, want 2", h.Count())
+	}
+	ex := trace.Export()
+	if len(ex.Root.Children) != 1 || ex.Root.Children[0].DurNS < 0 {
+		t.Fatalf("trace tree after double End: %+v", ex.Root)
 	}
 }
 

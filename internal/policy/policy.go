@@ -11,6 +11,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -319,7 +320,16 @@ func (pm *Perms) HasID(id string, priv Privilege) bool {
 // one with the greatest priority is an accept. Rule paths are evaluated on
 // the source document with $USER bound to the user's login.
 func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user string) (*Perms, error) {
-	defer obs.StartSpan(evalStage).End()
+	return p.EvaluateCtx(context.Background(), doc, h, user)
+}
+
+// EvaluateCtx is Evaluate with request-scoped tracing: under an active
+// trace it records a policy_evaluate span annotated with the applicable
+// rule and granted node counts.
+func (p *Policy) EvaluateCtx(ctx context.Context, doc *xmltree.Document, h *subject.Hierarchy, user string) (*Perms, error) {
+	_, sp := obs.StartSpanCtx(ctx, "policy_evaluate", evalStage)
+	defer sp.End()
+	applicable := 0
 	pm := &Perms{user: user, version: doc.Version(), grants: make(map[string]uint8)}
 	// latest[nodeID][priv] = priority of the latest applicable rule; sign
 	// tracked separately via accepts bitmask updates below.
@@ -335,6 +345,7 @@ func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user stri
 		if !h.ISA(user, r.Subject) {
 			continue
 		}
+		applicable++
 		ns, err := r.compiled.Select(doc.Root(), vars)
 		ruleEvals.Inc()
 		if err != nil {
@@ -363,6 +374,8 @@ func (p *Policy) Evaluate(doc *xmltree.Document, h *subject.Hierarchy, user stri
 			pm.grants[id] = mask
 		}
 	}
+	sp.AnnotateInt("rules_applicable", int64(applicable))
+	sp.AnnotateInt("nodes_granted", int64(len(pm.grants)))
 	return pm, nil
 }
 

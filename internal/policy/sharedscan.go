@@ -31,6 +31,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"strconv"
@@ -147,7 +148,7 @@ func (c *RuleCache) intern(ns []*xmltree.Node) []int32 {
 // rules it will not merge. Missing rules are still computed together, so
 // the chain-only ones share one bank walk. The returned map is the live
 // cache — callers must clone before mutating. Callers hold c.mu.
-func (c *RuleCache) fill(p *Policy, doc *xmltree.Document, indep []*Rule) (map[*Rule][]int32, error) {
+func (c *RuleCache) fill(ctx context.Context, p *Policy, doc *xmltree.Document, indep []*Rule) (map[*Rule][]int32, error) {
 	var missing []*Rule
 	for _, r := range indep {
 		if _, ok := c.sets[r]; !ok {
@@ -155,11 +156,15 @@ func (c *RuleCache) fill(p *Policy, doc *xmltree.Document, indep []*Rule) (map[*
 		}
 	}
 	ruleCacheHits.Add(uint64(len(indep) - len(missing)))
+	obs.AnnotateIntCtx(ctx, "rulecache_hit_rules", int64(len(indep)-len(missing)))
 	if len(missing) == 0 {
 		return c.sets, nil
 	}
 	ruleCacheMisses.Add(uint64(len(missing)))
-	sets, err := scanSets(missing, doc, nil)
+	fctx, fsp := obs.StartSpanCtx(ctx, "rulecache_fill", nil)
+	fsp.AnnotateInt("rules", int64(len(missing)))
+	sets, err := scanSets(fctx, missing, doc, nil)
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -173,12 +178,14 @@ func (c *RuleCache) fill(p *Policy, doc *xmltree.Document, indep []*Rule) (map[*
 // ascending list of applicable $USER-independent rules), computing and
 // caching it on first use. The returned slice is shared — callers must
 // clone before mutating. Callers hold c.mu.
-func (c *RuleCache) latestFor(p *Policy, doc *xmltree.Document, sig string, indep []*Rule) ([]permCells, error) {
+func (c *RuleCache) latestFor(ctx context.Context, p *Policy, doc *xmltree.Document, sig string, indep []*Rule) ([]permCells, error) {
 	if m, ok := c.latest[sig]; ok {
 		ruleCacheHits.Add(uint64(len(indep)))
+		obs.AnnotateCtx(ctx, "profile_latest", "hit")
 		return m, nil
 	}
-	sets, err := c.fill(p, doc, indep)
+	obs.AnnotateCtx(ctx, "profile_latest", "miss")
+	sets, err := c.fill(ctx, p, doc, indep)
 	if err != nil {
 		return nil, err
 	}
@@ -197,12 +204,14 @@ func (c *RuleCache) latestFor(p *Policy, doc *xmltree.Document, sig string, inde
 // grantsFor returns the final grant masks of an all-independent profile,
 // projecting and caching them on first use. The returned map is shared —
 // callers must clone. Callers hold c.mu.
-func (c *RuleCache) grantsFor(p *Policy, doc *xmltree.Document, sig string, indep []*Rule) (map[string]uint8, error) {
+func (c *RuleCache) grantsFor(ctx context.Context, p *Policy, doc *xmltree.Document, sig string, indep []*Rule) (map[string]uint8, error) {
 	if g, ok := c.grants[sig]; ok {
 		ruleCacheHits.Add(uint64(len(indep)))
+		obs.AnnotateCtx(ctx, "profile_grants", "hit")
 		return g, nil
 	}
-	latest, err := c.latestFor(p, doc, sig, indep)
+	obs.AnnotateCtx(ctx, "profile_grants", "miss")
+	latest, err := c.latestFor(ctx, p, doc, sig, indep)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +276,16 @@ func (pm *Perms) mutable() {
 // cache may be nil, in which case nothing is reused across calls but rules
 // still share document walks within this call.
 func (p *Policy) EvaluateShared(doc *xmltree.Document, h *subject.Hierarchy, user string, cache *RuleCache) (*Perms, error) {
-	defer obs.StartSpan(evalSharedStage).End()
+	return p.EvaluateSharedCtx(context.Background(), doc, h, user, cache)
+}
+
+// EvaluateSharedCtx is EvaluateShared with request-scoped tracing: under
+// an active trace it records a policy_evaluate_shared span with child
+// spans for the bank walk / per-rule fallback and the RuleCache fill, and
+// annotations for profile hit/miss and the $USER overlay size.
+func (p *Policy) EvaluateSharedCtx(ctx context.Context, doc *xmltree.Document, h *subject.Hierarchy, user string, cache *RuleCache) (*Perms, error) {
+	ctx, sp := obs.StartSpanCtx(ctx, "policy_evaluate_shared", evalSharedStage)
+	defer sp.End()
 	pm := &Perms{user: user, version: doc.Version()}
 	var indep, dep []*Rule
 	sig := make([]byte, 0, 64)
@@ -283,9 +301,11 @@ func (p *Policy) EvaluateShared(doc *xmltree.Document, h *subject.Hierarchy, use
 			sig = append(sig, ',')
 		}
 	}
+	sp.AnnotateInt("rules_indep", int64(len(indep)))
+	sp.AnnotateInt("rules_dep", int64(len(dep)))
 	// $USER-dependent sets are per-user work; scan them outside the cache
 	// lock so concurrent warm-ups only serialize on genuinely shared state.
-	depSets, err := scanSets(dep, doc, xpath.Vars{"USER": xpath.String(user)})
+	depSets, err := scanSets(ctx, dep, doc, xpath.Vars{"USER": xpath.String(user)})
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +315,7 @@ func (p *Policy) EvaluateShared(doc *xmltree.Document, h *subject.Hierarchy, use
 	cache.mu.Lock()
 	cache.ensure(p, doc)
 	if len(dep) == 0 {
-		g, err := cache.grantsFor(p, doc, string(sig), indep)
+		g, err := cache.grantsFor(ctx, p, doc, string(sig), indep)
 		cache.mu.Unlock()
 		if err != nil {
 			return nil, err
@@ -308,12 +328,12 @@ func (p *Policy) EvaluateShared(doc *xmltree.Document, h *subject.Hierarchy, use
 	// $USER-independent profile and patches only the nodes its dependent
 	// rules touch — typically a handful (the user's own subtree) out of
 	// the whole document.
-	base, err := cache.latestFor(p, doc, string(sig), indep)
+	base, err := cache.latestFor(ctx, p, doc, string(sig), indep)
 	if err != nil {
 		cache.mu.Unlock()
 		return nil, err
 	}
-	g, err := cache.grantsFor(p, doc, string(sig), indep)
+	g, err := cache.grantsFor(ctx, p, doc, string(sig), indep)
 	if err != nil {
 		cache.mu.Unlock()
 		return nil, err
@@ -342,6 +362,7 @@ func (p *Policy) EvaluateShared(doc *xmltree.Document, h *subject.Hierarchy, use
 	for idx, cells := range touched {
 		overlay[ids[idx]] = cells.mask()
 	}
+	sp.AnnotateInt("overlay_nodes", int64(len(overlay)))
 	pm.grants, pm.overlay, pm.shared = g, overlay, true
 	return pm, nil
 }
@@ -350,7 +371,7 @@ func (p *Policy) EvaluateShared(doc *xmltree.Document, h *subject.Hierarchy, use
 // traversals as possible: chain-only rules share one Bank walk when there
 // are at least bankMinRules of them, everything else runs a per-rule
 // Select.
-func scanSets(rules []*Rule, doc *xmltree.Document, vars xpath.Vars) (map[*Rule][]*xmltree.Node, error) {
+func scanSets(ctx context.Context, rules []*Rule, doc *xmltree.Document, vars xpath.Vars) (map[*Rule][]*xmltree.Node, error) {
 	out := make(map[*Rule][]*xmltree.Node, len(rules))
 	var banked []*Rule
 	for _, r := range rules {
@@ -365,20 +386,29 @@ func scanSets(rules []*Rule, doc *xmltree.Document, vars xpath.Vars) (map[*Rule]
 	for _, r := range banked {
 		ms = append(ms, r.matcher)
 	}
-	for _, r := range rules {
-		if len(banked) > 0 && r.matcher != nil {
-			continue
+	if nFall := len(rules) - len(banked); nFall > 0 {
+		_, fsp := obs.StartSpanCtx(ctx, "policy_rule_select", nil)
+		fsp.AnnotateInt("rules", int64(nFall))
+		for _, r := range rules {
+			if len(banked) > 0 && r.matcher != nil {
+				continue
+			}
+			fallbackRules.Inc()
+			ruleEvals.Inc()
+			ns, err := r.compiled.Select(doc.Root(), vars)
+			if err != nil {
+				fsp.End()
+				return nil, fmt.Errorf("policy: evaluating %s: %w", r, err)
+			}
+			out[r] = ns
 		}
-		fallbackRules.Inc()
-		ruleEvals.Inc()
-		ns, err := r.compiled.Select(doc.Root(), vars)
-		if err != nil {
-			return nil, fmt.Errorf("policy: evaluating %s: %w", r, err)
-		}
-		out[r] = ns
+		fsp.End()
 	}
 	if len(ms) > 0 {
+		_, bsp := obs.StartSpanCtx(ctx, "policy_bank_walk", nil)
+		bsp.AnnotateInt("rules", int64(len(banked)))
 		sets, err := xpath.NewBank(ms).Select(doc, vars)
+		bsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("policy: shared scan: %w", err)
 		}

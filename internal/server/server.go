@@ -13,9 +13,12 @@
 //	GET  /value?xpath=EXPR        atomic result of EXPR
 //	POST /update                  an <xupdate:modifications> document
 //	POST /transform               an XSLT stylesheet, run as the user (§5)
+//	GET  /explain?xpath=EXPR      axiom-14 decision provenance per node (JSON)
 //	GET  /analyze                 static policy analysis (JSON; ?format=text)
 //	POST /warm                    pre-materialize all users' views (?workers=N)
 //	GET  /healthz                 liveness, database stats
+//	GET  /traces                  recent request trace summaries (JSON)
+//	GET  /trace/{id}              one trace's full span tree (JSON)
 //	GET  /metrics                 telemetry registry, Prometheus text format
 //	GET  /debug/vars              telemetry snapshot + runtime stats (expvar)
 //	GET  /debug/pprof/...         profiling (only with WithPprof)
@@ -36,6 +39,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"securexml/internal/access"
 	"securexml/internal/core"
@@ -46,11 +50,17 @@ import (
 // maxBody bounds update request bodies (1 MiB).
 const maxBody = 1 << 20
 
+// defaultSlowTrace is the threshold above which a finished request trace
+// is logged whole through the access logger.
+const defaultSlowTrace = 500 * time.Millisecond
+
 // Server is an http.Handler over one Database.
 type Server struct {
 	db        *core.Database
 	mux       *http.ServeMux
 	reg       *obs.Registry
+	tracer    *obs.Tracer
+	slowTrace time.Duration
 	accessLog *slog.Logger
 	pprof     bool
 }
@@ -72,12 +82,20 @@ func WithAccessLog(w io.Writer) Option {
 	}
 }
 
+// WithSlowTraceThreshold sets the latency above which finished request
+// traces are logged whole (span tree included) through the access log.
+// Zero disables slow-trace logging; the default is 500ms.
+func WithSlowTraceThreshold(d time.Duration) Option {
+	return func(s *Server) { s.slowTrace = d }
+}
+
 // New builds the handler.
 func New(db *core.Database, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), reg: obs.Default()}
+	s := &Server{db: db, mux: http.NewServeMux(), reg: obs.Default(), slowTrace: defaultSlowTrace}
 	for _, o := range opts {
 		o(s)
 	}
+	s.tracer = obs.NewTracer(0, s.slowTrace, s.accessLog)
 	s.reg.Help("xmlsec_http_requests_total", "HTTP requests by endpoint and status class.")
 	s.reg.Help("xmlsec_http_request_duration_seconds", "HTTP request latency by endpoint.")
 	s.reg.Help(obs.StageMetric, "Access-control pipeline stage latency.")
@@ -88,9 +106,14 @@ func New(db *core.Database, opts ...Option) *Server {
 	s.handle("GET /value", "value", s.withSession(s.handleValue))
 	s.handle("POST /update", "update", s.withSession(s.handleUpdate))
 	s.handle("POST /transform", "transform", s.withSession(s.handleTransform))
+	s.handle("GET /explain", "explain", s.withSession(s.handleExplain))
 	s.handle("GET /analyze", "analyze", s.withSession(s.handleAnalyze))
 	s.handle("POST /warm", "warm", s.handleWarm)
 	s.handle("GET /healthz", "healthz", s.handleHealth)
+	// The trace endpoints bypass the tracing middleware: reading the trace
+	// ring must not itself append traces to it.
+	s.mux.HandleFunc("GET /traces", s.handleTraces)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	if s.pprof {
@@ -118,14 +141,24 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 		"endpoint", endpoint)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		reqID := obs.NewRequestID()
-		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		// Every request gets a trace rooted at its endpoint span; the trace
+		// ID is the request ID, so X-Request-Id doubles as the /trace/{id}
+		// key.
+		ctx, t := s.tracer.StartTrace(ctx, endpoint)
+		// The handler span observes the endpoint latency histogram from
+		// inside the trace, so the series' max-latency exemplar carries
+		// this trace's ID (/metrics p99 outliers link to /trace/{id}).
+		ctx, sp := obs.StartSpanCtx(ctx, "http_handler", hist)
+		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-Id", reqID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		inFlight.Add(1)
-		sp := obs.StartSpan(hist)
 		h(rec, r)
 		d := sp.End()
 		inFlight.Add(-1)
+		t.Annotate("status", statusClass(rec.status))
+		t.Finish()
 		s.reg.Counter("xmlsec_http_requests_total",
 			"endpoint", endpoint, "status", statusClass(rec.status)).Inc()
 		if s.accessLog != nil {
@@ -361,4 +394,45 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+}
+
+// handleExplain re-derives the axiom-14 decision provenance for every node
+// the xpath expression matches on the source document, as the request's
+// user (GET /explain?xpath=EXPR). Diagnostic endpoint: each call costs a
+// cold policy evaluation.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, session *core.Session) {
+	expr := r.URL.Query().Get("xpath")
+	if expr == "" {
+		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
+		return
+	}
+	ex, err := session.ExplainCtx(r.Context(), expr)
+	if err != nil {
+		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := json.NewEncoder(w).Encode(ex); err != nil {
+		s.httpError(w, r, err, http.StatusInternalServerError)
+	}
+}
+
+// handleTraces lists recent finished traces, newest first, as summaries
+// (no span trees — fetch /trace/{id} for one).
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(s.tracer.Summaries())
+}
+
+// handleTrace returns one finished trace's full span tree by its ID (the
+// request's X-Request-Id).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.tracer.Get(id)
+	if !ok {
+		s.httpError(w, r, fmt.Errorf("no trace %q (ring keeps the most recent traces only)", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(t.Export())
 }

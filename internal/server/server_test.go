@@ -16,6 +16,14 @@ const medXML = `<patients><franck><service>otolaryngology</service><diagnosis>to
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
+	ts := httptest.NewServer(New(testServerDB(t)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// testServerDB builds the hospital database the endpoint tests run over.
+func testServerDB(t *testing.T) *core.Database {
+	t.Helper()
 	db := core.New()
 	steps := []error{
 		db.LoadXMLString(medXML),
@@ -39,9 +47,7 @@ func testServer(t *testing.T) *httptest.Server {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(New(db))
-	t.Cleanup(ts.Close)
-	return ts
+	return db
 }
 
 // get performs an authenticated GET and returns status and body.

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"securexml/internal/obs"
+)
+
+// traceExport mirrors the /trace/{id} payload shape for decoding.
+type traceExport struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	DurNS int64  `json:"dur_ns"`
+	Spans int    `json:"spans"`
+	Root  *struct {
+		Name     string            `json:"name"`
+		Attrs    map[string]string `json:"attrs"`
+		Children []json.RawMessage `json:"children"`
+	} `json:"root"`
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	ts := testServer(t)
+
+	// A request produces a trace whose ID is the response's X-Request-Id.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/view", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.SetBasicAuth("laporte", "")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+
+	// /traces lists it, newest first.
+	code, body := get(t, ts, "", "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d: %s", code, body)
+	}
+	var sums []traceExport
+	if err := json.Unmarshal([]byte(body), &sums); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(sums) == 0 || sums[0].ID != reqID || sums[0].Name != "view" {
+		t.Fatalf("/traces head = %+v, want trace %s for endpoint view", sums, reqID)
+	}
+	if sums[0].Root != nil {
+		t.Fatal("summaries must not carry span trees")
+	}
+
+	// /trace/{id} returns the full tree with pipeline child spans.
+	code, body = get(t, ts, "", "/trace/"+reqID)
+	if code != http.StatusOK {
+		t.Fatalf("/trace/%s = %d: %s", reqID, code, body)
+	}
+	var full traceExport
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if full.ID != reqID || full.Root == nil || full.Root.Name != "view" {
+		t.Fatalf("trace export: %+v", full)
+	}
+	if full.Root.Attrs["status"] != "2xx" {
+		t.Fatalf("root status attr = %q, want 2xx", full.Root.Attrs["status"])
+	}
+	if full.Spans < 3 || len(full.Root.Children) == 0 {
+		t.Fatalf("expected pipeline child spans, got %d spans", full.Spans)
+	}
+	if !strings.Contains(body, "session_view") {
+		t.Fatalf("trace tree missing session_view span:\n%s", body)
+	}
+
+	// Unknown IDs are 404; the trace endpoints themselves never trace.
+	if code, _ := get(t, ts, "", "/trace/nope"); code != http.StatusNotFound {
+		t.Fatalf("/trace/nope = %d, want 404", code)
+	}
+	_, body = get(t, ts, "", "/traces")
+	if strings.Contains(body, `"name":"traces"`) {
+		t.Fatal("reading /traces must not record traces of itself")
+	}
+
+	// The /metrics exposition links the endpoint series to a trace ID.
+	_, metrics := get(t, ts, "", "/metrics")
+	if !strings.Contains(metrics, "# EXEMPLAR xmlsec_http_request_duration_seconds") ||
+		!strings.Contains(metrics, "trace_id=") {
+		t.Fatalf("/metrics missing latency exemplar:\n%s", metrics[:min(len(metrics), 600)])
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "beaufort", "/explain?xpath="+
+		"%2F%2Fdiagnosis%2Ftext%28%29") // //diagnosis/text()
+	if code != http.StatusOK {
+		t.Fatalf("/explain = %d: %s", code, body)
+	}
+	var ex struct {
+		User       string `json:"user"`
+		Consistent bool   `json:"consistent"`
+		Nodes      []struct {
+			Visibility string `json:"visibility"`
+			Origin     string `json:"origin"`
+			Privileges []struct {
+				Privilege string `json:"privilege"`
+				Granted   bool   `json:"granted"`
+			} `json:"privileges"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &ex); err != nil {
+		t.Fatalf("/explain not JSON: %v\n%s", err, body)
+	}
+	if ex.User != "beaufort" || !ex.Consistent || len(ex.Nodes) != 2 {
+		t.Fatalf("explain payload: %+v", ex)
+	}
+	for _, n := range ex.Nodes {
+		if n.Visibility != "restricted" {
+			t.Fatalf("secretary diagnosis verdict = %q, want restricted", n.Visibility)
+		}
+	}
+
+	if code, _ := get(t, ts, "beaufort", "/explain"); code != http.StatusBadRequest {
+		t.Fatal("missing xpath must be 400")
+	}
+	if code, _ := get(t, ts, "beaufort", "/explain?xpath=%2F%2F%2F"); code != http.StatusBadRequest {
+		t.Fatal("bad xpath must be 400")
+	}
+	if code, _ := get(t, ts, "", "/explain?xpath=%2F"); code != http.StatusUnauthorized {
+		t.Fatal("explain requires a user")
+	}
+}
+
+func TestSlowTraceThresholdOption(t *testing.T) {
+	var buf bytes.Buffer
+	db := testServerDB(t)
+	srv := New(db, WithAccessLog(&buf), WithSlowTraceThreshold(time.Nanosecond))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	if code, body := get(t, ts, "laporte", "/view"); code != http.StatusOK {
+		t.Fatalf("/view = %d: %s", code, body)
+	}
+	if !strings.Contains(buf.String(), "slow trace") {
+		t.Fatalf("slow trace not logged through the access logger:\n%s", buf.String())
+	}
+	// The default tracer stays untouched — the server holds its own.
+	if obs.DefaultTracer() != nil {
+		t.Fatal("server must not install a process default tracer")
+	}
+}

@@ -24,6 +24,8 @@ const HelpText = `Commands:
   view                            print your authorized view
   query <xpath>                   select nodes on your view
   value <xpath>                   evaluate an expression (count(...), ...)
+  explain <xpath>                 why each matched node is (in)visible: the
+                                  winning rule, what it defeated, cell origin
   rename <path> <new-label>       xupdate:rename
   update <path> <new-content>     xupdate:update
   append <path> <xml-fragment>    xupdate:append
@@ -237,6 +239,16 @@ func (sh *Shell) sessionCommand(cmd, rest string) error {
 		}
 		sh.printf("%s (%s)\n", v.Str(), v.TypeName())
 		return nil
+	case "explain":
+		if rest == "" {
+			return fmt.Errorf("usage: explain <xpath>")
+		}
+		ex, err := s.Explain(rest)
+		if err != nil {
+			return err
+		}
+		sh.printExplanation(ex)
+		return nil
 	case "rename", "update":
 		path, arg := splitWord(rest)
 		if path == "" || arg == "" {
@@ -291,6 +303,40 @@ func (sh *Shell) sessionCommand(cmd, rest string) error {
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
+}
+
+// printExplanation renders a decision-provenance report: one block per
+// matched node with its visibility verdict, cell origin, and per-privilege
+// rule story (winner first, then what it defeated).
+func (sh *Shell) printExplanation(ex *core.Explanation) {
+	sh.printf("explain %s as %s (%d applicable rules, doc v%d, policy epoch %d)\n",
+		ex.XPath, ex.User, ex.RulesApplicable, ex.DocVersion, ex.PolicyEpoch)
+	for _, n := range ex.Nodes {
+		sh.printf("%s [%s %s] %s, cell=%s\n", n.Path, n.Kind, n.NodeID, n.Visibility, n.Origin)
+		for _, ps := range n.Privileges {
+			if ps.Winner == nil {
+				if ps.Privilege == "read" || ps.Privilege == "position" {
+					sh.printf("  %-8s denied (closed world: no rule addresses the node)\n", ps.Privilege)
+				}
+				continue
+			}
+			verdict := "denied"
+			if ps.Granted {
+				verdict = "granted"
+			}
+			sh.printf("  %-8s %s by %s\n", ps.Privilege, verdict, ps.Winner.Rule)
+			for _, d := range ps.Defeated {
+				sh.printf("           defeats %s\n", d.Rule)
+			}
+		}
+		for _, m := range n.Mismatches {
+			sh.printf("  MISMATCH: %s\n", m)
+		}
+	}
+	if !ex.Consistent {
+		sh.printf("WARNING: provenance disagrees with the production decision (see mismatches)\n")
+	}
+	sh.printf("(%d nodes)\n", len(ex.Nodes))
 }
 
 func (sh *Shell) runOp(op *xupdate.Op) error {

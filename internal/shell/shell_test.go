@@ -70,6 +70,30 @@ func TestViewAndQuery(t *testing.T) {
 	}
 }
 
+func TestExplainCommand(t *testing.T) {
+	out := run(t,
+		"!explain //diagnosis", // requires a session
+		"login beaufort",
+		"!explain", // requires an xpath
+		"explain //diagnosis/text()",
+	)
+	for _, want := range []string{
+		"explain //diagnosis/text() as beaufort",
+		"restricted",
+		"read     denied by rule(deny,read,//diagnosis/node(),secretary",
+		"defeats rule(accept,read,/descendant-or-self::node(),staff",
+		"position granted by",
+		"cell=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") || strings.Contains(out, "WARNING") {
+		t.Fatalf("paper scenario must explain consistently:\n%s", out)
+	}
+}
+
 func TestUpdateCommands(t *testing.T) {
 	out := run(t,
 		"login laporte",

@@ -75,10 +75,15 @@ type obslabel struct {
 }
 
 // isObsEntry matches the obs package entry points that accept metric
-// names or label values.
+// names or label values — registry constructors plus the tracing surface
+// (span names, annotation keys and string annotation values all land on
+// /traces, which republishes like /metrics). Tracer.Get is deliberately
+// absent: a trace ID is user input used for lookup, never stored.
 func isObsEntry(name string) bool {
 	switch name {
-	case "Counter", "Gauge", "Histogram", "Stage":
+	case "Counter", "Gauge", "Histogram", "Stage",
+		"StartSpanCtx", "StartTrace",
+		"Annotate", "AnnotateInt", "AnnotateCtx", "AnnotateIntCtx":
 		return true
 	}
 	return false

@@ -24,6 +24,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 
 	"securexml/internal/labeling"
@@ -65,8 +66,15 @@ func NewMaintainer(pol *policy.Policy, h *subject.Hierarchy, user string) (*Main
 // were applied to src. pm is updated in place alongside the view. On error
 // both v and pm may be half-patched and must be discarded.
 func (m *Maintainer) Apply(v *View, src *xmltree.Document, pm *policy.Perms, deltas []xupdate.Delta) error {
-	sp := obs.StartSpan(incStage)
+	return m.ApplyCtx(context.Background(), v, src, pm, deltas)
+}
+
+// ApplyCtx is Apply with request-scoped tracing: under an active trace it
+// records a view_incremental span annotated with the delta count.
+func (m *Maintainer) ApplyCtx(ctx context.Context, v *View, src *xmltree.Document, pm *policy.Perms, deltas []xupdate.Delta) error {
+	_, sp := obs.StartSpanCtx(ctx, "view_incremental", incStage)
 	defer sp.End()
+	sp.AnnotateInt("deltas", int64(len(deltas)))
 	for _, d := range deltas {
 		if err := m.applyDelta(v, src, pm, d); err != nil {
 			return err

@@ -18,6 +18,8 @@
 package view
 
 import (
+	"context"
+
 	"securexml/internal/labeling"
 	"securexml/internal/obs"
 	"securexml/internal/policy"
@@ -52,13 +54,23 @@ type View struct {
 // Materialize derives the view of src for the user whose permissions are pm
 // (axioms 15–17).
 func Materialize(src *xmltree.Document, pm *policy.Perms) *View {
-	sp := obs.StartSpan(matStage)
+	return MaterializeCtx(context.Background(), src, pm)
+}
+
+// MaterializeCtx is Materialize with request-scoped tracing: under an
+// active trace it records a view_materialize span annotated with the node
+// accounting.
+func MaterializeCtx(ctx context.Context, src *xmltree.Document, pm *policy.Perms) *View {
+	_, sp := obs.StartSpanCtx(ctx, "view_materialize", matStage)
 	v := &View{
 		Doc:           xmltree.New(src.Scheme()),
 		User:          pm.User(),
 		SourceVersion: src.Version(),
 	}
 	copySelected(v, pm, src.Root(), v.Doc.Root())
+	sp.AnnotateInt("nodes", int64(v.Doc.Len()))
+	sp.AnnotateInt("restricted", int64(v.Restricted))
+	sp.AnnotateInt("hidden", int64(v.Hidden))
 	sp.End()
 	matTotal.Inc()
 	matNodes.Add(uint64(v.Doc.Len()))

@@ -249,7 +249,7 @@ func Execute(doc *xmltree.Document, op *Op, vars xpath.Vars) (*Result, error) {
 		return nil, fmt.Errorf("xupdate: evaluating select path: %w", err)
 	}
 	res := &Result{Selected: len(sel)}
-	sp := obs.StartSpan(execStage)
+	sp := obs.NewSpan(execStage)
 	for _, n := range sel {
 		if err := applyOne(doc, run, n, res); err != nil {
 			sp.End()
