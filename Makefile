@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all verify vet lint race fuzz bench-smoke
+.PHONY: all verify vet lint lint-fix-check race fuzz bench-smoke
 
 all: verify vet lint
 
@@ -26,6 +26,22 @@ vet:
 lint:
 	$(GO) run ./cmd/xmlsec-lint -paper
 
+# Repair-engine gate: generate seeded faulty corpora for every scenario
+# shape, apply xmlsec-lint -fix -write, and fail if a re-lint still sees a
+# finding. The faulty and repaired reports are left in lint-fix/ so CI can
+# upload them as artifacts.
+lint-fix-check:
+	@rm -rf lint-fix && mkdir -p lint-fix
+	@set -e; for shape in acl rbac rebac hospital; do \
+		echo "lint-fix-check: $$shape"; \
+		$(GO) run ./cmd/xmlsec-lint -scenario $$shape -rules 200 -faults 6 -seed 42 \
+			-emit lint-fix/$$shape.snapshot -json > lint-fix/$$shape.faulty.json || true; \
+		$(GO) run ./cmd/xmlsec-lint -json -fix -write lint-fix/$$shape.snapshot \
+			> lint-fix/$$shape.repairs.json || { echo "$$shape: -fix -write failed"; exit 1; }; \
+		$(GO) run ./cmd/xmlsec-lint lint-fix/$$shape.snapshot \
+			|| { echo "$$shape: findings survived -fix -write"; exit 1; }; \
+	done
+
 # Concurrency gate: the full suite under the race detector, including the
 # core concurrent-session stress test.
 race:
@@ -46,3 +62,4 @@ fuzz:
 	$(GO) test ./internal/xupdate -fuzz FuzzParseModifications -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/datalog -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/view -fuzz FuzzIncrementalView -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/policyanalysis -fuzz FuzzRepair -fuzztime $(FUZZTIME) -run '^$$'

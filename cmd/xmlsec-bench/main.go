@@ -41,14 +41,16 @@ var (
 	obsIters int
 	b11Out   string
 	b12Out   string
+	e11Out   string
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (b1..b7, b11, b12, obs, or all)")
+	exp := flag.String("exp", "all", "experiment to run (b1..b7, b11, b12, e11, obs, or all)")
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
 	flag.StringVar(&obsOut, "out", "BENCH_obs.json", "where the obs experiment writes its report")
 	flag.StringVar(&b11Out, "b11-out", "BENCH_b11.json", "where experiment b11 writes its report")
 	flag.StringVar(&b12Out, "b12-out", "BENCH_b12.json", "where experiment b12 writes its report")
+	flag.StringVar(&e11Out, "e11-out", "BENCH_e11.json", "where experiment e11 writes its report")
 	flag.IntVar(&obsIters, "obs-iters", 0, "override the obs experiment iteration count")
 	validate := flag.String("validate", "", "validate an emitted obs report and exit")
 	validateB12 := flag.String("validate-b12", "", "validate an emitted b12 report and exit")
@@ -91,6 +93,7 @@ func main() {
 		"b7":  b7QueryFilter,
 		"b11": b11IncrementalMaintenance,
 		"b12": b12SharedScan,
+		"e11": e11RepairEngine,
 		"obs": bObs,
 	}
 	if *exp != "all" {
@@ -105,7 +108,7 @@ func main() {
 		}
 		return
 	}
-	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b11", "b12", "obs"} {
+	for _, name := range []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b11", "b12", "e11", "obs"} {
 		if err := experiments[name](); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlsec-bench:", err)
 			os.Exit(1)

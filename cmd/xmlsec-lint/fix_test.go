@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securexml/internal/findings"
+	"securexml/internal/policy"
+)
+
+// TestFixDryRunReportsRepairs: -fix on a faulty snapshot leaves the file
+// untouched but emits validated repairs in both text and JSON output.
+func TestFixDryRunReportsRepairs(t *testing.T) {
+	path := snapshotWith(t, policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read,
+		Path: "//diagnosis/node()", Subject: "secretary", Priority: 22,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fix", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "repair  conflict-overlap rule@22") {
+		t.Errorf("text output missing repair line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", "-fix", path}, &out, &errOut); code != 1 {
+		t.Fatalf("json exit %d, stderr %q", code, errOut.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep findings.Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("output is not the canonical findings schema: %v\n%s", err, out.String())
+	}
+	if len(rep.Repairs) == 0 {
+		t.Fatal("no repairs in JSON output")
+	}
+	for _, r := range rep.Repairs {
+		if !r.Validated || len(r.Edits) == 0 && r.Distance != 0 {
+			t.Errorf("unvalidated or empty repair offered: %+v", r)
+		}
+	}
+}
+
+// TestFixWriteRepairsSnapshotInPlace: -fix -write rewrites the snapshot so
+// that a re-lint of the same file comes back clean, and a second
+// -fix -write run is a no-op.
+func TestFixWriteRepairsSnapshotInPlace(t *testing.T) {
+	path := snapshotWith(t, policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read,
+		Path: "//diagnosis/node()", Subject: "secretary", Priority: 22,
+	})
+	var out, errOut bytes.Buffer
+	run([]string{"-fix", "-write", path}, &out, &errOut)
+	if !strings.Contains(errOut.String(), "applied") {
+		t.Fatalf("expected applied note on stderr, got %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("re-lint after -fix -write: exit %d\n%s", code, out.String())
+	}
+
+	// Idempotence: a clean snapshot is left alone.
+	errOut.Reset()
+	if code := run([]string{"-fix", "-write", path}, &out, &errOut); code != 0 {
+		t.Fatalf("second -fix -write: exit %d", code)
+	}
+	if strings.Contains(errOut.String(), "applied") {
+		t.Errorf("second -fix -write rewrote a clean snapshot: %q", errOut.String())
+	}
+}
+
+// TestScenarioGenerateAndFix exercises the CI gate flow end to end:
+// generate a seeded faulty corpus with -emit, repair the emitted snapshot
+// with -fix -write, and verify the re-lint is clean.
+func TestScenarioGenerateAndFix(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "acl.snapshot")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-scenario", "acl", "-rules", "60", "-faults", "4", "-seed", "9", "-emit", snap}, &out, &errOut)
+	if code == 0 || code == 3 {
+		t.Fatalf("faulty corpus should lint dirty: exit %d, stderr %q", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	run([]string{"-fix", "-write", snap}, &out, &errOut)
+	if !strings.Contains(errOut.String(), "applied") {
+		t.Fatalf("no repairs applied to faulty corpus: %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{snap}, &out, &errOut); code != 0 {
+		t.Fatalf("emitted corpus not clean after -fix -write: exit %d\n%s", code, out.String())
+	}
+}
+
+// TestScenarioCleanExitsZero: an unfaulted corpus lints clean for every
+// shape, straight from the generator.
+func TestScenarioCleanExitsZero(t *testing.T) {
+	for _, shape := range []string{"acl", "rbac", "rebac", "hospital"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-scenario", shape, "-rules", "40", "-seed", "2"}, &out, &errOut); code != 0 {
+			t.Errorf("%s: exit %d\n%s%s", shape, code, errOut.String(), out.String())
+		}
+	}
+}
+
+func TestFlagUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-write", "x"}, &out, &errOut); code != 3 {
+		t.Errorf("-write without -fix: exit %d", code)
+	}
+	if code := run([]string{"-fix", "-write", "-paper"}, &out, &errOut); code != 3 {
+		t.Errorf("-fix -write -paper: exit %d", code)
+	}
+	if code := run([]string{"-scenario", "acl", "-fix", "-write"}, &out, &errOut); code != 3 {
+		t.Errorf("-scenario with -write: exit %d", code)
+	}
+	if code := run([]string{"-scenario", "nope"}, &out, &errOut); code != 3 {
+		t.Errorf("unknown shape: exit %d", code)
+	}
+	if code := run([]string{"-scenario", "acl", "-paper"}, &out, &errOut); code != 3 {
+		t.Errorf("-scenario with -paper: exit %d", code)
+	}
+}

@@ -1,15 +1,31 @@
 // Command xmlsec-lint statically analyzes a security policy — without any
-// document — and reports dead rules, accept/deny reopenings, write grants
-// that can never be exercised, and covert-channel hazards (§2.2). It is
-// the CI gate for policy changes: exit codes reflect the worst finding.
+// document — and reports dead rules, accept/deny reopenings, priority
+// collisions, write grants that can never be exercised, and covert-channel
+// hazards (§2.2). It is the CI gate for policy changes: exit codes reflect
+// the worst finding.
+//
+// With -fix it additionally synthesizes minimal candidate repairs (delete
+// rule, flip effect, renumber priority, narrow path) for every repairable
+// finding, each validated by re-analysis and — when the snapshot carries a
+// document — differentially classified as semantics-preserving or
+// semantics-changing. -fix alone is a dry run; -fix -write applies the
+// best repair per finding and rewrites the snapshot in place, iterating
+// until no repairable finding remains. Rewriting a clean snapshot is a
+// no-op.
+//
+// With -scenario it generates a seeded corpus (internal/scenario) instead
+// of loading a snapshot: -rules scales it, -faults plants known-repairable
+// defects, -seed fixes the generator, and -emit saves the generated
+// snapshot for later -fix -write runs.
 //
 // Usage:
 //
-//	xmlsec-lint [-json] <snapshot-file>   analyze a snapshot written by save/Save
-//	xmlsec-lint [-json] -paper            analyze the paper's 12-rule policy
+//	xmlsec-lint [-json] [-fix [-write]] <snapshot-file>
+//	xmlsec-lint [-json] [-fix] -paper
+//	xmlsec-lint [-json] [-fix] -scenario <shape> [-rules N] [-faults N] [-seed N] [-emit FILE]
 //
 // Exit codes: 0 no findings, 1 warnings only, 2 errors, 3 usage or load
-// failure.
+// failure. With -fix -write the exit code reflects the post-repair state.
 package main
 
 import (
@@ -18,11 +34,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"securexml/internal/findings"
 	"securexml/internal/policy"
 	"securexml/internal/policyanalysis"
+	"securexml/internal/scenario"
 	"securexml/internal/storage"
 	"securexml/internal/subject"
+	"securexml/internal/xmltree"
 )
 
 func main() {
@@ -33,28 +53,99 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xmlsec-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (shared findings schema)")
 	paper := fs.Bool("paper", false, "analyze the paper's 12-rule policy instead of a snapshot")
+	fix := fs.Bool("fix", false, "synthesize validated minimal repairs for repairable findings (dry run)")
+	write := fs.Bool("write", false, "with -fix: apply best repairs and rewrite the snapshot file in place")
+	shape := fs.String("scenario", "", "generate and analyze a corpus of this shape: "+strings.Join(scenario.Shapes(), "|"))
+	nrules := fs.Int("rules", 100, "with -scenario: approximate rule count of the generated corpus")
+	nfaults := fs.Int("faults", 0, "with -scenario: number of seeded repairable defects")
+	seed := fs.Int64("seed", 1, "with -scenario: generator seed")
+	emit := fs.String("emit", "", "with -scenario: write the generated corpus snapshot to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage:
+  xmlsec-lint [-json] [-fix [-write]] <snapshot-file>
+  xmlsec-lint [-json] [-fix] -paper
+  xmlsec-lint [-json] [-fix] -scenario <shape> [-rules N] [-faults N] [-seed N] [-emit FILE]
+
+Exit codes: 0 no findings, 1 warnings only, 2 errors, 3 usage or load
+failure. With -fix -write the exit code reflects the post-repair state.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
+	if *write && !*fix {
+		fmt.Fprintln(stderr, "xmlsec-lint: -write requires -fix")
+		return 3
+	}
 
-	var rep *policyanalysis.Report
+	// Resolve the policy source: scenario generator, paper policy, or a
+	// snapshot file. doc is nil when the source carries no document.
+	var (
+		doc        *xmltree.Document
+		h          *subject.Hierarchy
+		rules      []policy.Rule
+		snapFile   string
+		schemeName = "fracpath"
+	)
 	switch {
+	case *shape != "":
+		if *paper || fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "xmlsec-lint: -scenario excludes -paper and snapshot arguments")
+			return 3
+		}
+		if *write {
+			fmt.Fprintln(stderr, "xmlsec-lint: -write needs a snapshot file; use -emit, then -fix -write on the emitted file")
+			return 3
+		}
+		c, err := scenario.GenerateCorpus(scenario.CorpusConfig{
+			Shape: *shape, Rules: *nrules, Seed: *seed, Faults: *nfaults,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+			return 3
+		}
+		if *emit != "" {
+			f, err := os.Create(*emit)
+			if err != nil {
+				fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+				return 3
+			}
+			err = storage.Write(f, c.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+				return 3
+			}
+		}
+		doc, h, rules = c.Doc, c.Hierarchy, c.Rules
 	case *paper:
 		if fs.NArg() != 0 {
 			fmt.Fprintln(stderr, "xmlsec-lint: -paper takes no snapshot argument")
 			return 3
 		}
-		h := subject.PaperHierarchy()
+		if *write {
+			fmt.Fprintln(stderr, "xmlsec-lint: -write needs a snapshot file argument")
+			return 3
+		}
+		h = subject.PaperHierarchy()
 		pol, err := policy.PaperPolicy(h)
 		if err != nil {
 			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
 			return 3
 		}
-		rep = policyanalysis.Analyze(h, pol)
+		for _, r := range pol.Rules() {
+			rules = append(rules, *r)
+		}
 	case fs.NArg() == 1:
-		f, err := os.Open(fs.Arg(0))
+		snapFile = fs.Arg(0)
+		f, err := os.Open(snapFile)
 		if err != nil {
 			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
 			return 3
@@ -65,10 +156,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
 			return 3
 		}
-		rep = policyanalysis.AnalyzeRules(snap.Subjects, snap.Rules)
+		doc, h, rules, schemeName = snap.Doc, snap.Subjects, snap.Rules, snap.SchemeName
 	default:
-		fmt.Fprintln(stderr, "usage: xmlsec-lint [-json] <snapshot-file> | xmlsec-lint [-json] -paper")
+		fs.Usage()
 		return 3
+	}
+
+	var out *findings.Report
+	switch {
+	case *fix && *write:
+		fixed, applied, final := policyanalysis.Fix(doc, h, rules)
+		if len(applied) > 0 {
+			f, err := os.Create(snapFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+				return 3
+			}
+			err = storage.Write(f, &storage.Snapshot{
+				SchemeName: schemeName, Doc: doc, Subjects: h, Rules: fixed,
+			})
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
+				return 3
+			}
+			fmt.Fprintf(stderr, "xmlsec-lint: applied %d repair(s), rewrote %s\n", len(applied), snapFile)
+		}
+		out = final.Canonical()
+	case *fix:
+		out = policyanalysis.PlanRepairs(doc, h, rules).Canonical()
+	default:
+		out = policyanalysis.AnalyzeRules(h, rules).Canonical()
 	}
 
 	if *asJSON {
@@ -76,20 +196,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// (internal/findings), not the internal policyanalysis report shape.
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep.Canonical()); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(stderr, "xmlsec-lint: %v\n", err)
 			return 3
 		}
 	} else {
-		io.WriteString(stdout, rep.Text())
+		io.WriteString(stdout, out.Text())
 	}
-
-	switch {
-	case rep.HasErrors():
-		return 2
-	case rep.HasWarnings():
-		return 1
-	default:
-		return 0
-	}
+	return out.ExitCode()
 }

@@ -285,26 +285,41 @@ func (a *Authority) GuardedAdd(doc *xmltree.Document, h *subject.Hierarchy, pol 
 // resulting policy: it returns the analyzer findings that involve the
 // newly issued rule (anchored on it or listing it as related), so the
 // issuing tool can warn — at grant time — about rules that are born dead,
-// reopen earlier denies, or can never be exercised. The rule is added
-// regardless: findings are advice, not vetoes (the dynamic semantics stay
-// authoritative).
-func (a *Authority) GuardedAddChecked(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, issuer string, r policy.Rule) ([]policyanalysis.Finding, error) {
+// reopen earlier denies, or can never be exercised. Each involved finding
+// also comes with the repair engine's validated candidate edits for it,
+// classified against doc as semantics-preserving or -changing, so the
+// grantor sees not just what the new rule broke but the minimal ways to
+// unbreak it. The rule is added regardless: findings are advice, not
+// vetoes (the dynamic semantics stay authoritative).
+func (a *Authority) GuardedAddChecked(doc *xmltree.Document, h *subject.Hierarchy, pol *policy.Policy, issuer string, r policy.Rule) ([]policyanalysis.Finding, []policyanalysis.Repair, error) {
 	if err := a.GuardedAdd(doc, h, pol, issuer, r); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rep := policyanalysis.Analyze(h, pol)
+	rules := make([]policy.Rule, 0, pol.Len())
+	for _, pr := range pol.Rules() {
+		rules = append(rules, *pr)
+	}
+	rr := policyanalysis.PlanRepairs(doc, h, rules)
 	var involved []policyanalysis.Finding
-	for _, f := range rep.Findings {
-		if f.Priority == r.Priority {
-			involved = append(involved, f)
-			continue
-		}
+	involves := map[string]bool{}
+	for _, f := range rr.Findings {
+		hit := f.Priority == r.Priority
 		for _, p := range f.Related {
 			if p == r.Priority {
-				involved = append(involved, f)
+				hit = true
 				break
 			}
 		}
+		if hit {
+			involved = append(involved, f)
+			involves[f.Code+"@"+fmt.Sprint(f.Priority)] = true
+		}
 	}
-	return involved, nil
+	var repairs []policyanalysis.Repair
+	for _, rep := range rr.Repairs {
+		if involves[rep.Code+"@"+fmt.Sprint(rep.Priority)] {
+			repairs = append(repairs, rep)
+		}
+	}
+	return involved, repairs, nil
 }

@@ -268,18 +268,18 @@ func TestGuardedAddChecked(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A benign rule: no findings involve it.
-	findings, err := a.GuardedAddChecked(d, h, pol, "dba", policy.Rule{
+	findings, repairs, err := a.GuardedAddChecked(d, h, pol, "dba", policy.Rule{
 		Effect: policy.Accept, Privilege: policy.Read, Path: "//service", Subject: "doctor", Priority: 30,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 0 {
-		t.Errorf("benign rule produced findings: %+v", findings)
+	if len(findings) != 0 || len(repairs) != 0 {
+		t.Errorf("benign rule produced advice: %+v / %+v", findings, repairs)
 	}
 	// A rule that shadows and reopens the secretary deny: the issuance
-	// succeeds but returns the warnings.
-	findings, err = a.GuardedAddChecked(d, h, pol, "dba", policy.Rule{
+	// succeeds but returns the warnings, each with suggested repairs.
+	findings, repairs, err = a.GuardedAddChecked(d, h, pol, "dba", policy.Rule{
 		Effect: policy.Accept, Privilege: policy.Read, Path: "//diagnosis/node()", Subject: "secretary", Priority: 31,
 	})
 	if err != nil {
@@ -292,11 +292,23 @@ func TestGuardedAddChecked(t *testing.T) {
 	if !codes[policyanalysis.CodeConflictOverlap] || !codes[policyanalysis.CodeDeadRule] {
 		t.Errorf("expected conflict-overlap and dead-rule involvement, got %+v", findings)
 	}
+	repaired := map[string]bool{}
+	for _, r := range repairs {
+		if !r.Validated {
+			t.Errorf("unvalidated repair surfaced: %+v", r)
+		}
+		repaired[r.Code] = true
+	}
+	for _, f := range findings {
+		if policyanalysis.RepairableCodes[f.Code] && !repaired[f.Code] {
+			t.Errorf("involved finding %s has no suggested repair", f.Code)
+		}
+	}
 	if pol.Len() != 14 {
 		t.Errorf("rules = %d, want 14 (findings must not veto)", pol.Len())
 	}
 	// Authority failures surface as errors, without analysis.
-	if _, err := a.GuardedAddChecked(d, h, pol, "laporte", policy.Rule{
+	if _, _, err := a.GuardedAddChecked(d, h, pol, "laporte", policy.Rule{
 		Effect: policy.Accept, Privilege: policy.Read, Path: "//x", Subject: "doctor", Priority: 32,
 	}); !errors.Is(err, ErrNotAuthorized) {
 		t.Errorf("unauthorized issuer: %v", err)

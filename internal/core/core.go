@@ -393,6 +393,25 @@ func (db *Database) AnalyzePolicy() *policyanalysis.Report {
 	return policyanalysis.Analyze(db.subjects, db.policy)
 }
 
+// PlanRepairs runs the analyzer with repair synthesis over the current
+// policy. The live document drives the repair engine's differential
+// oracle, so candidate repairs come back classified semantics-preserving
+// or semantics-changing against the current permission matrix.
+func (db *Database) PlanRepairs() *policyanalysis.RepairReport {
+	return db.PlanRepairsCtx(context.Background())
+}
+
+// PlanRepairsCtx is PlanRepairs with request-scoped tracing.
+func (db *Database) PlanRepairsCtx(ctx context.Context) *policyanalysis.RepairReport {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rules := make([]policy.Rule, 0, db.policy.Len())
+	for _, r := range db.policy.Rules() {
+		rules = append(rules, *r)
+	}
+	return policyanalysis.PlanRepairsCtx(ctx, db.doc, db.subjects, rules)
+}
+
 // SourceXML serializes the raw source document — administrator use only;
 // regular access goes through Session views.
 func (db *Database) SourceXML() string {

@@ -99,6 +99,48 @@ func (f *Finding) anchor() string {
 	}
 }
 
+// RepairEdit is one primitive policy edit inside a candidate repair.
+// Index addresses the rule by position in the analyzed rule slice — the
+// only unambiguous key when the finding under repair is a priority
+// collision — with Rule and Priority carried for human consumption.
+type RepairEdit struct {
+	// Kind is the edit primitive: "delete-rule", "flip-effect",
+	// "set-priority" or "narrow-path".
+	Kind string `json:"kind"`
+	// Index of the target rule in the analyzed (snapshot-order) slice.
+	Index int `json:"index"`
+	// Rule is the target rule's rendering; Priority its current priority.
+	Rule     string `json:"rule,omitempty"`
+	Priority int64  `json:"priority,omitempty"`
+	// Exactly one of the following is set, matching Kind.
+	NewPriority int64  `json:"new_priority,omitempty"`
+	NewPath     string `json:"new_path,omitempty"`
+	NewEffect   string `json:"new_effect,omitempty"`
+}
+
+// Repair is one validated candidate fix for a finding: a minimal edit set
+// that the repair engine has re-analyzed (finding gone, nothing new) and —
+// when a document was available — differentially classified against the
+// original policy's full permission matrix.
+type Repair struct {
+	// Code and Priority anchor the finding this repair addresses.
+	Code     string `json:"code"`
+	Priority int64  `json:"priority"`
+	// Edits applied together constitute the repair; Distance is the edit
+	// count (the ranking key — lower is more minimal).
+	Edits    []RepairEdit `json:"edits"`
+	Distance int          `json:"distance"`
+	// Validated: re-analysis of the patched rules proved the finding gone
+	// with no new finding introduced. Only validated repairs are offered.
+	Validated bool `json:"validated"`
+	// SemanticsChecked is true when a scenario document was available to
+	// run the differential oracle; SemanticsPreserving then reports whether
+	// every user's permission matrix stayed cell-for-cell identical.
+	SemanticsChecked    bool   `json:"semantics_checked"`
+	SemanticsPreserving bool   `json:"semantics_preserving"`
+	Description         string `json:"description"`
+}
+
 // Report is the full result of one analyzer run.
 type Report struct {
 	// Tool is the emitting analyzer: "xmlsec-lint" or "xmlsec-vet".
@@ -108,6 +150,9 @@ type Report struct {
 	// Suppressed counts findings matched (and hidden) by a baseline entry.
 	Suppressed int       `json:"suppressed,omitempty"`
 	Findings   []Finding `json:"findings"`
+	// Repairs holds the validated candidate fixes computed by
+	// xmlsec-lint -fix, ranked per finding by ascending distance.
+	Repairs []Repair `json:"repairs,omitempty"`
 }
 
 // Max returns the highest severity present, or Info for a clean report.
@@ -178,6 +223,29 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&b, " [%s]", strings.Join(f.Subjects, ", "))
 		}
 		b.WriteByte('\n')
+	}
+	for i := range r.Repairs {
+		rp := &r.Repairs[i]
+		label := "semantics-changing"
+		if !rp.SemanticsChecked {
+			label = "semantics-unchecked"
+		} else if rp.SemanticsPreserving {
+			label = "semantics-preserving"
+		}
+		fmt.Fprintf(&b, "repair  %s rule@%d (distance %d, %s): %s\n",
+			rp.Code, rp.Priority, rp.Distance, label, rp.Description)
+		for _, e := range rp.Edits {
+			fmt.Fprintf(&b, "        %s #%d %s", e.Kind, e.Index, e.Rule)
+			switch e.Kind {
+			case "set-priority":
+				fmt.Fprintf(&b, " -> priority %d", e.NewPriority)
+			case "narrow-path":
+				fmt.Fprintf(&b, " -> path %s", e.NewPath)
+			case "flip-effect":
+				fmt.Fprintf(&b, " -> %s", e.NewEffect)
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

@@ -12,9 +12,9 @@ import (
 )
 
 // Severity ranks findings. Errors are policies that cannot mean what they
-// say (unparseable paths, unknown subjects); warnings are rules that are
-// provably inert or that weaken the policy in ways the paper's dynamic
-// semantics silently tolerates.
+// say (unparseable paths, unknown subjects, broken priority order); warnings
+// are rules that are provably inert or that weaken the policy in ways the
+// paper's dynamic semantics silently tolerates.
 type Severity int
 
 // Severities in ascending order.
@@ -53,10 +53,13 @@ const (
 	CodeInsertInvisible    = "write-insert-invisible"
 	CodeUnselectableTarget = "write-unselectable-target"
 	CodeCovertChannel      = "covert-channel-hazard"
+	CodePriorityCollision  = "priority-collision" // one priority on several rules
+	CodePriorityDisorder   = "priority-disorder"  // snapshot order not ascending
 )
 
 // Finding is one analyzer result, anchored on a rule by its priority
-// (priorities are unique within a policy).
+// (priorities are unique within a policy; priority-collision findings are
+// the one place a priority can name several rules at once).
 type Finding struct {
 	Code     string   `json:"code"`
 	Severity Severity `json:"severity"`
@@ -141,10 +144,190 @@ func (rep *Report) Text() string {
 
 // ruleInfo is the per-rule working state of one analysis.
 type ruleInfo struct {
-	rule  policy.Rule
-	pat   *xpath.Pattern
-	users []string // users in the rule's isa-closure scope, sorted
-	empty bool     // pattern provably selects nothing
+	rule   policy.Rule
+	pat    *xpath.Pattern
+	patStr string          // cached Pattern.String(), the memoization key
+	key    string          // discriminator bucket (see discriminator)
+	users  []string        // users in the rule's isa-closure scope, sorted
+	uset   map[string]bool // same users, as a set
+	index  int             // position among the analyzable rules
+	empty  bool            // pattern provably selects nothing
+}
+
+// memo caches the expensive decisions of an analysis session: automata
+// queries keyed by pattern strings and isa-closure scopes keyed by subject.
+// Pattern- and hierarchy-level answers do not depend on the rule set, so a
+// repair session shares one memo across the dozens of re-analyses it runs
+// while validating candidate edits.
+type memo struct {
+	h          *subject.Hierarchy
+	pairs      map[string]bool
+	scopeUsers map[string][]string
+	scopeSets  map[string]map[string]bool
+}
+
+func newMemo(h *subject.Hierarchy) *memo {
+	return &memo{
+		h:          h,
+		pairs:      make(map[string]bool),
+		scopeUsers: make(map[string][]string),
+		scopeSets:  make(map[string]map[string]bool),
+	}
+}
+
+// usersOf returns (and caches) the users the subject's isa-closure reaches
+// (axiom 13). The returned slice and set are shared: callers must not
+// mutate them.
+func (m *memo) usersOf(subj string) ([]string, map[string]bool) {
+	if users, ok := m.scopeUsers[subj]; ok {
+		return users, m.scopeSets[subj]
+	}
+	var users []string
+	set := map[string]bool{}
+	for _, u := range m.h.Users() {
+		if m.h.ISA(u, subj) {
+			users = append(users, u)
+			set[u] = true
+		}
+	}
+	sort.Strings(users)
+	m.scopeUsers[subj] = users
+	m.scopeSets[subj] = set
+	return users, set
+}
+
+// satisfiable memoizes the word-automata emptiness check.
+func (m *memo) satisfiable(ri *ruleInfo) bool {
+	k := "s|" + ri.patStr
+	if v, ok := m.pairs[k]; ok {
+		return v
+	}
+	v := satisfiable(ri.pat)
+	m.pairs[k] = v
+	return v
+}
+
+// contains memoizes pattern containment. Precondition: inner is
+// satisfiable (the disjointness prescreen answers "not contained" for
+// disjoint patterns, which is only sound when inner matches something).
+func (m *memo) contains(outer, inner *ruleInfo) bool {
+	if quickDisjoint(outer.pat, inner.pat) {
+		return false
+	}
+	k := "c|" + outer.patStr + "|" + inner.patStr
+	if v, ok := m.pairs[k]; ok {
+		return v
+	}
+	v := contains(outer.pat, inner.pat)
+	m.pairs[k] = v
+	return v
+}
+
+// overlap2 memoizes pairwise pattern overlap.
+func (m *memo) overlap2(a, b *ruleInfo) bool {
+	if quickDisjoint(a.pat, b.pat) {
+		return false
+	}
+	k := "o|" + a.patStr + "|" + b.patStr
+	if v, ok := m.pairs[k]; ok {
+		return v
+	}
+	v := overlapAll(a.pat, b.pat)
+	m.pairs[k] = v
+	return v
+}
+
+// overlap3 memoizes three-way pattern overlap.
+func (m *memo) overlap3(a, b, c *ruleInfo) bool {
+	if quickDisjoint(a.pat, b.pat) || quickDisjoint(a.pat, c.pat) || quickDisjoint(b.pat, c.pat) {
+		return false
+	}
+	k := "o3|" + a.patStr + "|" + b.patStr + "|" + c.patStr
+	if v, ok := m.pairs[k]; ok {
+		return v
+	}
+	v := overlapAll(a.pat, b.pat, c.pat)
+	m.pairs[k] = v
+	return v
+}
+
+// overlapRoot memoizes overlap with the document-node pattern.
+func (m *memo) overlapRoot(ri *ruleInfo) bool {
+	k := "r|" + ri.patStr
+	if v, ok := m.pairs[k]; ok {
+		return v
+	}
+	v := overlapAll(ri.pat, rootPattern())
+	m.pairs[k] = v
+	return v
+}
+
+// analysis is the working state of one AnalyzeRules run: the rule infos
+// plus privilege/bucket indices that keep the pairwise passes from probing
+// provably-disjoint rule pairs (the discriminator prescreen is what makes
+// 10k-rule corpora analyzable — per-object rules land in distinct buckets).
+type analysis struct {
+	m     *memo
+	infos []*ruleInfo
+	// byPriv[priv] lists info indices holding priv, ascending; byPrivKey
+	// refines by discriminator bucket ("" = the wildcard bucket of rules
+	// whose pattern is not pinned under a depth-2 name).
+	byPriv    map[policy.Privilege][]int
+	byPrivKey map[privKey][]int
+}
+
+type privKey struct {
+	priv policy.Privilege
+	key  string
+}
+
+func newAnalysis(m *memo, infos []*ruleInfo) *analysis {
+	a := &analysis{
+		m:         m,
+		infos:     infos,
+		byPriv:    make(map[policy.Privilege][]int),
+		byPrivKey: make(map[privKey][]int),
+	}
+	for i, ri := range infos {
+		p := ri.rule.Privilege
+		a.byPriv[p] = append(a.byPriv[p], i)
+		a.byPrivKey[privKey{p, ri.key}] = append(a.byPrivKey[privKey{p, ri.key}], i)
+	}
+	return a
+}
+
+// candidates returns the info indices (ascending, matching infos order)
+// holding priv whose pattern could overlap a pattern in bucket key: the
+// same bucket plus the wildcard bucket, or every rule of the privilege
+// when key is itself the wildcard. Exclusions are sound — rules in two
+// distinct non-wildcard buckets are provably disjoint (different mandatory
+// element names at depth 2).
+func (a *analysis) candidates(priv policy.Privilege, key string) []int {
+	if key == "" {
+		return a.byPriv[priv]
+	}
+	in := a.byPrivKey[privKey{priv, key}]
+	wild := a.byPrivKey[privKey{priv, ""}]
+	if len(wild) == 0 {
+		return in
+	}
+	if len(in) == 0 {
+		return wild
+	}
+	out := make([]int, 0, len(in)+len(wild))
+	i, j := 0, 0
+	for i < len(in) && j < len(wild) {
+		if in[i] < wild[j] {
+			out = append(out, in[i])
+			i++
+		} else {
+			out = append(out, wild[j])
+			j++
+		}
+	}
+	out = append(out, in[i:]...)
+	out = append(out, wild[j:]...)
+	return out
 }
 
 // Analyze runs every pass over a live policy.
@@ -159,7 +342,14 @@ func Analyze(h *subject.Hierarchy, pol *policy.Policy) *Report {
 // AnalyzeRules runs every pass over raw rules (as loaded from a snapshot,
 // which need not have passed policy.Add validation).
 func AnalyzeRules(h *subject.Hierarchy, rules []policy.Rule) *Report {
+	return analyzeRules(h, rules, newMemo(h))
+}
+
+// analyzeRules is AnalyzeRules against a caller-owned memo, so a repair
+// session can share automata and scope decisions across its re-analyses.
+func analyzeRules(h *subject.Hierarchy, rules []policy.Rule, m *memo) *Report {
 	rep := &Report{Rules: len(rules), Findings: []Finding{}}
+	priorityPass(rep, rules)
 	infos := make([]*ruleInfo, 0, len(rules))
 	for _, r := range rules {
 		c, err := xpath.Compile(r.Path)
@@ -177,8 +367,10 @@ func AnalyzeRules(h *subject.Hierarchy, rules []policy.Rule) *Report {
 			})
 			continue
 		}
-		ri := &ruleInfo{rule: r, pat: c.Pattern(), users: usersInScope(h, r.Subject)}
-		ri.empty = !satisfiable(ri.pat)
+		pat := c.Pattern()
+		ri := &ruleInfo{rule: r, pat: pat, patStr: pat.String(), key: discriminator(pat), index: len(infos)}
+		ri.users, ri.uset = m.usersOf(r.Subject)
+		ri.empty = !m.satisfiable(ri)
 		if ri.empty {
 			rep.add(Finding{
 				Code: CodeEmptyPattern, Severity: Warning, Rule: r.String(), Priority: r.Priority,
@@ -187,11 +379,12 @@ func AnalyzeRules(h *subject.Hierarchy, rules []policy.Rule) *Report {
 		}
 		infos = append(infos, ri)
 	}
-	deadRulePass(rep, infos)
-	conflictOverlapPass(rep, infos)
-	writeInsertPass(rep, infos)
-	writeTargetPass(rep, infos)
-	covertChannelPass(rep, infos)
+	a := newAnalysis(m, infos)
+	deadRulePass(rep, a)
+	conflictOverlapPass(rep, a)
+	writeInsertPass(rep, a)
+	writeTargetPass(rep, a)
+	covertChannelPass(rep, a)
 	sort.SliceStable(rep.Findings, func(i, j int) bool {
 		if rep.Findings[i].Priority != rep.Findings[j].Priority {
 			return rep.Findings[i].Priority < rep.Findings[j].Priority
@@ -206,14 +399,64 @@ func (rep *Report) add(f Finding) { rep.Findings = append(rep.Findings, f) }
 // usersInScope lists the users the rule applies to: every user whose
 // isa-closure reaches the rule's subject (axiom 13).
 func usersInScope(h *subject.Hierarchy, subj string) []string {
-	var users []string
-	for _, u := range h.Users() {
-		if h.ISA(u, subj) {
-			users = append(users, u)
+	users, _ := newMemo(h).usersOf(subj)
+	return users
+}
+
+// priorityPass checks the total order the model assumes over rules ("the
+// last issued command has the priority over the previous ones", §4.3).
+// Policy.Add enforces strictly-ascending unique priorities, but
+// AnalyzeRules accepts arbitrary slices — hand-edited or corrupted
+// snapshots can carry duplicates, under which axiom 14's latest-wins merge
+// is ill-defined. Duplicates are errors; a slice whose rules are merely
+// stored out of ascending order still means what it says (priorities are
+// explicit), so that is reported as a warning.
+func priorityPass(rep *Report, rules []policy.Rule) {
+	byPriority := map[int64][]int{}
+	for i, r := range rules {
+		byPriority[r.Priority] = append(byPriority[r.Priority], i)
+	}
+	prios := make([]int64, 0, len(byPriority))
+	for p, idxs := range byPriority {
+		if len(idxs) > 1 {
+			prios = append(prios, p)
 		}
 	}
-	sort.Strings(users)
-	return users
+	sort.Slice(prios, func(i, j int) bool { return prios[i] < prios[j] })
+	for _, p := range prios {
+		idxs := byPriority[p]
+		subjects := map[string]bool{}
+		for _, i := range idxs {
+			subjects[rules[i].Subject] = true
+		}
+		rep.add(Finding{
+			Code: CodePriorityCollision, Severity: Error,
+			Rule: rules[idxs[0]].String(), Priority: p,
+			Message: fmt.Sprintf("priority %d is assigned to %d rules; the model assumes a total order, so their conflict resolution (axiom 14) is ill-defined",
+				p, len(idxs)),
+			Subjects: sortedKeys(subjects),
+		})
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Priority < rules[i-1].Priority {
+			rep.add(Finding{
+				Code: CodePriorityDisorder, Severity: Warning,
+				Rule: rules[i].String(), Priority: rules[i].Priority,
+				Message: fmt.Sprintf("rule stored after priority %d; the snapshot is not in ascending priority order (harmless after load, but suggests hand-editing)",
+					rules[i-1].Priority),
+				Related: []int64{rules[i-1].Priority},
+			})
+		}
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // deadRulePass flags rules that can never decide any authorization: either
@@ -223,8 +466,8 @@ func usersInScope(h *subject.Hierarchy, subj string) []string {
 // the shadower must be Exact (an over-approximated shadower might not
 // really cover every node), while the victim may be inexact — its
 // over-approximation only widens what must be contained.
-func deadRulePass(rep *Report, infos []*ruleInfo) {
-	for i, ri := range infos {
+func deadRulePass(rep *Report, a *analysis) {
+	for _, ri := range a.infos {
 		if ri.empty {
 			continue // already reported; also vacuously dead
 		}
@@ -235,19 +478,28 @@ func deadRulePass(rep *Report, infos []*ruleInfo) {
 			})
 			continue
 		}
+		// Collect the later same-privilege exact rules whose pattern
+		// contains the victim's, in infos order (bucket exclusions only
+		// drop provably-disjoint, hence non-containing, rules).
+		var shadowing []*ruleInfo
+		for _, j := range a.candidates(ri.rule.Privilege, ri.key) {
+			rj := a.infos[j]
+			if rj == ri || rj.rule.Priority <= ri.rule.Priority || !rj.pat.Exact {
+				continue
+			}
+			if a.m.contains(rj, ri) {
+				shadowing = append(shadowing, rj)
+			}
+		}
+		if len(shadowing) == 0 {
+			continue
+		}
 		shadowers := map[int64]bool{}
 		dead := true
 		for _, u := range ri.users {
 			found := false
-			for _, rj := range infos {
-				if rj == infos[i] || rj.rule.Priority <= ri.rule.Priority ||
-					rj.rule.Privilege != ri.rule.Privilege || !rj.pat.Exact {
-					continue
-				}
-				if !userInScope(rj, u) {
-					continue
-				}
-				if contains(rj.pat, ri.pat) {
+			for _, rj := range shadowing {
+				if rj.uset[u] {
 					shadowers[rj.rule.Priority] = true
 					found = true
 					break
@@ -269,15 +521,6 @@ func deadRulePass(rep *Report, infos []*ruleInfo) {
 	}
 }
 
-func userInScope(ri *ruleInfo, user string) bool {
-	for _, u := range ri.users {
-		if u == user {
-			return true
-		}
-	}
-	return false
-}
-
 func sortedPriorities(set map[int64]bool) []int64 {
 	out := make([]int64, 0, len(set))
 	for p := range set {
@@ -292,19 +535,19 @@ func sortedPriorities(set map[int64]bool) []int64 {
 // 14 the later accept wins there, which silently weakens the deny. The
 // opposite order (deny after accept) is the model's idiomatic refinement
 // pattern — e.g. the paper's rules 10/11 — and is not reported.
-func conflictOverlapPass(rep *Report, infos []*ruleInfo) {
-	for _, acc := range infos {
+func conflictOverlapPass(rep *Report, a *analysis) {
+	for _, acc := range a.infos {
 		if acc.rule.Effect != policy.Accept || acc.empty {
 			continue
 		}
-		for _, den := range infos {
+		for _, j := range a.candidates(acc.rule.Privilege, acc.key) {
+			den := a.infos[j]
 			if den.rule.Effect != policy.Deny || den.empty ||
-				den.rule.Privilege != acc.rule.Privilege ||
 				den.rule.Priority >= acc.rule.Priority {
 				continue
 			}
 			common := commonUsers(acc, den)
-			if len(common) == 0 || !overlapAll(acc.pat, den.pat) {
+			if len(common) == 0 || !a.m.overlap2(acc, den) {
 				continue
 			}
 			rep.add(Finding{
@@ -318,36 +561,40 @@ func conflictOverlapPass(rep *Report, infos []*ruleInfo) {
 	}
 }
 
+// commonUsers intersects two scopes, preserving a's sorted order.
 func commonUsers(a, b *ruleInfo) []string {
 	var out []string
-	for _, u := range a.users {
-		if userInScope(b, u) {
+	small, setOf := a, b
+	if len(b.users) < len(a.users) {
+		// Intersection is symmetric and both user lists are sorted, so
+		// iterating the smaller scope yields the same sorted result.
+		small, setOf = b, a
+	}
+	for _, u := range small.users {
+		if setOf.uset[u] {
 			out = append(out, u)
 		}
 	}
 	return out
 }
 
-// visible reports whether some user in scope of w has an accept rule for
-// priv overlapping w's region. Because patterns over-approximate, a false
-// answer proves the regions are truly disjoint for every user in scope.
-func anyVisibilityOverlap(w *ruleInfo, infos []*ruleInfo, privs ...policy.Privilege) bool {
-	for _, a := range infos {
-		if a.rule.Effect != policy.Accept || a.empty {
-			continue
-		}
-		ok := false
-		for _, p := range privs {
-			if a.rule.Privilege == p {
-				ok = true
-				break
+// anyVisibilityOverlap reports whether some user in scope of w has an
+// accept rule for one of privs overlapping w's region. Because patterns
+// over-approximate, a false answer proves the regions are truly disjoint
+// for every user in scope.
+func anyVisibilityOverlap(a *analysis, w *ruleInfo, privs ...policy.Privilege) bool {
+	for _, p := range privs {
+		for _, j := range a.candidates(p, w.key) {
+			acc := a.infos[j]
+			if acc.rule.Effect != policy.Accept || acc.empty {
+				continue
 			}
-		}
-		if !ok || len(commonUsers(w, a)) == 0 {
-			continue
-		}
-		if overlapAll(w.pat, a.pat) {
-			return true
+			if len(commonUsers(w, acc)) == 0 {
+				continue
+			}
+			if a.m.overlap2(w, acc) {
+				return true
+			}
 		}
 	}
 	return false
@@ -359,16 +606,16 @@ func anyVisibilityOverlap(w *ruleInfo, infos []*ruleInfo, privs ...policy.Privil
 // never-visible parent region means the grant can never be exercised.
 // The document node is always present in a view, so patterns that may
 // match the root are skipped.
-func writeInsertPass(rep *Report, infos []*ruleInfo) {
-	for _, w := range infos {
+func writeInsertPass(rep *Report, a *analysis) {
+	for _, w := range a.infos {
 		if w.rule.Effect != policy.Accept || w.rule.Privilege != policy.Insert ||
 			w.empty || len(w.users) == 0 {
 			continue
 		}
-		if overlapAll(w.pat, rootPattern()) {
+		if a.m.overlapRoot(w) {
 			continue
 		}
-		if !anyVisibilityOverlap(w, infos, policy.Read, policy.Position) {
+		if !anyVisibilityOverlap(a, w, policy.Read, policy.Position) {
 			rep.add(Finding{
 				Code: CodeInsertInvisible, Severity: Warning, Rule: w.rule.String(), Priority: w.rule.Priority,
 				Message:  "insert granted under a region no user in scope can ever see in a view; the grant can never be exercised",
@@ -384,14 +631,14 @@ func writeInsertPass(rep *Report, infos []*ruleInfo) {
 // RESTRICTED node cannot be renamed — so update needs an overlapping read
 // accept; deletes only need the target present in the view, so read or
 // position suffices.
-func writeTargetPass(rep *Report, infos []*ruleInfo) {
-	for _, w := range infos {
+func writeTargetPass(rep *Report, a *analysis) {
+	for _, w := range a.infos {
 		if w.rule.Effect != policy.Accept || w.empty || len(w.users) == 0 {
 			continue
 		}
 		switch w.rule.Privilege {
 		case policy.Update:
-			if !anyVisibilityOverlap(w, infos, policy.Read) {
+			if !anyVisibilityOverlap(a, w, policy.Read) {
 				rep.add(Finding{
 					Code: CodeUnselectableTarget, Severity: Warning, Rule: w.rule.String(), Priority: w.rule.Priority,
 					Message:  "update granted on a region no user in scope can ever read; renames there can never succeed",
@@ -399,10 +646,10 @@ func writeTargetPass(rep *Report, infos []*ruleInfo) {
 				})
 			}
 		case policy.Delete:
-			if overlapAll(w.pat, rootPattern()) {
+			if a.m.overlapRoot(w) {
 				continue
 			}
-			if !anyVisibilityOverlap(w, infos, policy.Read, policy.Position) {
+			if !anyVisibilityOverlap(a, w, policy.Read, policy.Position) {
 				rep.add(Finding{
 					Code: CodeUnselectableTarget, Severity: Warning, Rule: w.rule.String(), Priority: w.rule.Priority,
 					Message:  "delete granted on a region no user in scope can ever see in a view; the grant can never be exercised",
@@ -418,28 +665,30 @@ func writeTargetPass(rep *Report, infos []*ruleInfo) {
 // the latest-priority read rule overlapping that region denies read (or no
 // read rule reaches it). Such a user can rename-probe content they are not
 // allowed to read.
-func covertChannelPass(rep *Report, infos []*ruleInfo) {
+func covertChannelPass(rep *Report, a *analysis) {
 	type pairKey struct{ pos, upd int64 }
 	hits := map[pairKey][]string{}
-	for _, pos := range infos {
+	for _, pos := range a.infos {
 		if pos.rule.Effect != policy.Accept || pos.rule.Privilege != policy.Position || pos.empty {
 			continue
 		}
-		for _, upd := range infos {
-			if upd.rule.Effect != policy.Accept || upd.rule.Privilege != policy.Update || upd.empty {
+		for _, j := range a.candidates(policy.Update, pos.key) {
+			upd := a.infos[j]
+			if upd.rule.Effect != policy.Accept || upd.empty {
 				continue
 			}
 			common := commonUsers(pos, upd)
-			if len(common) == 0 || !overlapAll(pos.pat, upd.pat) {
+			if len(common) == 0 || !a.m.overlap2(pos, upd) {
 				continue
 			}
 			for _, u := range common {
 				var best *ruleInfo
-				for _, rd := range infos {
-					if rd.rule.Privilege != policy.Read || rd.empty || !userInScope(rd, u) {
+				for _, k := range a.candidates(policy.Read, pos.key) {
+					rd := a.infos[k]
+					if rd.empty || !rd.uset[u] {
 						continue
 					}
-					if !overlapAll(pos.pat, upd.pat, rd.pat) {
+					if !a.m.overlap3(pos, upd, rd) {
 						continue
 					}
 					if best == nil || rd.rule.Priority > best.rule.Priority {
@@ -469,7 +718,7 @@ func covertChannelPass(rep *Report, infos []*ruleInfo) {
 		users = dedupStrings(users)
 		rep.add(Finding{
 			Code: CodeCovertChannel, Severity: Warning, Priority: k.pos,
-			Rule: ruleString(infos, k.pos),
+			Rule: ruleString(a.infos, k.pos),
 			Message: fmt.Sprintf("position without read overlaps update grant @%d: users can rename-probe content they cannot read (§2.2)",
 				k.upd),
 			Related:  []int64{k.upd},

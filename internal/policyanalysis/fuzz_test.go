@@ -1,0 +1,100 @@
+package policyanalysis
+
+import (
+	"fmt"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/subject"
+)
+
+// fuzzPaths is a pool of valid paths chosen to overlap and shadow each
+// other often, so random draws land in every analyzer pass.
+var fuzzPaths = []string{
+	"/descendant-or-self::node()",
+	"//diagnosis",
+	"//diagnosis/node()",
+	"//diagnosis/text()",
+	"/patients",
+	"/patients/*",
+	"/patients/*/*",
+	"/patients/node()",
+	"//service",
+	"//service/node()",
+	"//record",
+	"//note",
+	"//text()",
+	"/patients/*[name() = $USER]/descendant-or-self::node()",
+}
+
+var fuzzSubjects = []string{"staff", "secretary", "doctor", "epidemiologist", "patient", "beaufort", "laporte"}
+
+// rulesFromBytes decodes the fuzz input into an unvalidated rule slice:
+// 4 bytes per rule — effect/privilege, path, subject, priority. Priorities
+// come straight from the input, so collisions and descending runs (which
+// policy.Add would reject) are generated on purpose.
+func rulesFromBytes(data []byte) []policy.Rule {
+	var rules []policy.Rule
+	for i := 0; i+4 <= len(data) && len(rules) < 16; i += 4 {
+		rules = append(rules, policy.Rule{
+			Effect:    policy.Effect(data[i] & 1),
+			Privilege: policy.Privileges[int(data[i]>>1)%len(policy.Privileges)],
+			Path:      fuzzPaths[int(data[i+1])%len(fuzzPaths)],
+			Subject:   fuzzSubjects[int(data[i+2])%len(fuzzSubjects)],
+			Priority:  int64(data[i+3]),
+		})
+	}
+	return rules
+}
+
+// FuzzRepair drives the repair engine over random 4-quadrant policies
+// (accept/deny × read/write privileges) and asserts its core contract on
+// every offered repair: applying the edits removes the finding it targets
+// and never introduces a finding the original policy did not have.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 10, 1, 2, 1, 20, 2, 2, 1, 20})
+	f.Add([]byte{1, 0, 1, 5, 0, 2, 1, 5, 3, 3, 2, 4})
+	f.Add([]byte{2, 1, 0, 1, 3, 1, 0, 2, 4, 1, 0, 3, 5, 1, 0, 4})
+	h := subject.PaperHierarchy()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rules := rulesFromBytes(data)
+		rr := PlanRepairs(nil, h, rules)
+		orig := map[string]bool{}
+		for _, fd := range rr.Findings {
+			orig[fd.Code+"@"+fmt.Sprint(fd.Priority)] = true
+		}
+		for _, r := range rr.Repairs {
+			if !r.Validated {
+				t.Fatalf("unvalidated repair offered: %+v", r)
+			}
+			// Renumbering edits move a finding's anchor; map patched
+			// priorities back to their origin before comparing identities.
+			originOf := map[int64]int64{}
+			for _, e := range r.Edits {
+				if e.Kind == EditSetPriority && e.Index >= 0 && e.Index < len(rules) {
+					originOf[e.NewPriority] = rules[e.Index].Priority
+				}
+			}
+			patched := ApplyEdits(rules, r.Edits)
+			rep := AnalyzeRules(h, patched)
+			target := r.Code + "@" + fmt.Sprint(r.Priority)
+			for _, fd := range rep.Findings {
+				p := fd.Priority
+				if o, ok := originOf[p]; ok {
+					p = o
+				}
+				id := fd.Code + "@" + fmt.Sprint(p)
+				if id == target {
+					t.Errorf("repair %s left its finding in place\nrules: %v\nedits: %+v", target, rules, r.Edits)
+				}
+				if !orig[id] {
+					t.Errorf("repair %s introduced new finding %s\nrules: %v\nedits: %+v", target, id, rules, r.Edits)
+				}
+			}
+		}
+		// Fix must terminate; convergence to zero repairable findings is
+		// not guaranteed on adversarial inputs (every candidate for a
+		// finding may be rejected), but it must never loop or panic.
+		Fix(nil, h, rules)
+	})
+}

@@ -1,0 +1,159 @@
+package policyanalysis
+
+import "securexml/internal/xpath"
+
+// This file holds the cheap syntactic prescreens that keep the quadratic
+// analyzer passes and the repair engine's re-analysis loop tractable on
+// 10k-rule corpora. Both are conservative: they may only answer "provably
+// disjoint" / "no shared bucket" when the word automata would agree, so
+// every exclusion they make is one the exact checks would also have made.
+
+// quickDisjoint reports whether two patterns provably share no word, by
+// per-position symbol reasoning on the fixed (gap-free) prefixes and
+// suffixes of each alternative pair. False means "maybe overlapping" —
+// callers fall through to the automata product.
+func quickDisjoint(p, q *xpath.Pattern) bool {
+	for _, pa := range p.Alts {
+		for _, qa := range q.Alts {
+			if !altsDisjoint(pa, qa) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// altsDisjoint reports whether two alternatives provably accept no common
+// word. A step consumes exactly one symbol; a Gap admits zero or more
+// extra symbols before its step. Hence steps before the first gap sit at
+// exact positions from the word's start, steps after the last gap at exact
+// positions from its end, and a gap-free alternative fixes the word length
+// outright.
+func altsDisjoint(a, b []xpath.PatternStep) bool {
+	gapA, gapB := hasGap(a), hasGap(b)
+	if !gapA && !gapB && len(a) != len(b) {
+		return true
+	}
+	if !gapA && len(b) > len(a) {
+		return true
+	}
+	if !gapB && len(a) > len(b) {
+		return true
+	}
+	n := fixedPrefix(a)
+	if m := fixedPrefix(b); m < n {
+		n = m
+	}
+	for i := 0; i < n; i++ {
+		if !stepsCompatible(a[i], b[i]) {
+			return true
+		}
+	}
+	s := fixedSuffix(a)
+	if t := fixedSuffix(b); t < s {
+		s = t
+	}
+	for k := 0; k < s; k++ {
+		if !stepsCompatible(a[len(a)-1-k], b[len(b)-1-k]) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasGap(alt []xpath.PatternStep) bool {
+	for _, st := range alt {
+		if st.Gap {
+			return true
+		}
+	}
+	return false
+}
+
+// fixedPrefix counts the leading steps at exact word positions: everything
+// before the first gap.
+func fixedPrefix(alt []xpath.PatternStep) int {
+	for i, st := range alt {
+		if st.Gap {
+			return i
+		}
+	}
+	return len(alt)
+}
+
+// fixedSuffix counts the trailing steps at exact positions from the word's
+// end: the last step always is; walking backwards, a step with a gap
+// before it is the last one included.
+func fixedSuffix(alt []xpath.PatternStep) int {
+	for i := len(alt) - 1; i >= 0; i-- {
+		if alt[i].Gap {
+			return len(alt) - i
+		}
+	}
+	return len(alt)
+}
+
+// acceptsCat mirrors stepMatches per symbol category, ignoring names.
+func acceptsCat(st xpath.PatternStep, c symCat) bool {
+	switch st.Kind {
+	case xpath.PatAnyNode:
+		return true
+	case xpath.PatAnyChild:
+		return c != catAttr
+	case xpath.PatElement, xpath.PatNamedElement:
+		return c == catElem
+	case xpath.PatText:
+		return c == catText
+	case xpath.PatComment:
+		return c == catComment
+	case xpath.PatPI:
+		return c == catPI
+	case xpath.PatAnyAttribute, xpath.PatNamedAttribute:
+		return c == catAttr
+	default:
+		return false
+	}
+}
+
+// stepsCompatible reports whether some symbol satisfies both steps — the
+// per-position dual of stepMatches. Only two named steps of the same
+// category with different names exclude their whole category.
+func stepsCompatible(a, b xpath.PatternStep) bool {
+	for _, c := range []symCat{catElem, catAttr, catText, catComment, catPI} {
+		if !acceptsCat(a, c) || !acceptsCat(b, c) {
+			continue
+		}
+		if c == catElem && a.Kind == xpath.PatNamedElement && b.Kind == xpath.PatNamedElement && a.Name != b.Name {
+			continue
+		}
+		if c == catAttr && a.Kind == xpath.PatNamedAttribute && b.Kind == xpath.PatNamedAttribute && a.Name != b.Name {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// discriminator assigns a pattern its pairwise-comparison bucket: the
+// depth-2 element name when every alternative pins one (no gap through the
+// first two steps, a named element at position 1) and they all agree, else
+// the wildcard bucket "". Two patterns in distinct non-wildcard buckets
+// are provably disjoint under altsDisjoint (position 1 is fixed in both
+// and the names differ), which is what lets candidate enumeration skip
+// cross-bucket pairs. Generated corpora put each object's rules under
+// /<root>/<object>/…, so their rules spread across buckets and the
+// pairwise passes touch only same-object plus wildcard rules.
+func discriminator(p *xpath.Pattern) string {
+	key := ""
+	for _, alt := range p.Alts {
+		if len(alt) < 2 || alt[0].Gap || alt[1].Gap || alt[1].Kind != xpath.PatNamedElement {
+			return ""
+		}
+		if key == "" {
+			key = alt[1].Name
+		} else if key != alt[1].Name {
+			return ""
+		}
+	}
+	return key
+}

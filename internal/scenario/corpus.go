@@ -1,0 +1,533 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"securexml/internal/labeling"
+	"securexml/internal/policy"
+	"securexml/internal/storage"
+	"securexml/internal/subject"
+	"securexml/internal/workload"
+	"securexml/internal/xmltree"
+)
+
+// This file generates seeded policy corpora in shapes richer than the
+// hospital demo — per-object ACL sharing, deep RBAC role trees, and
+// ReBAC-style $USER owner/friend predicates — at parameterized rule
+// counts. Two consumers: the analyzer/repair engine uses faulty corpora as
+// fixtures (each seeded fault records the finding it must produce, and the
+// engine must synthesize a validated repair for it), and the cache tier
+// uses clean corpora as a cold-evaluation stress load.
+//
+// Generation discipline for clean corpora (Faults = 0 must analyze to zero
+// findings): priorities ascend in emit order; broad accepts precede narrow
+// denies (so no accept postdates an overlapping deny); every subject has a
+// user in scope; every write grant is emitted alongside a read grant
+// covering its region for the same users; no position grants outside the
+// paper policy (covert-channel hazards need position); and per-object
+// regions are rooted under distinct depth-2 element names, which both
+// mirrors real multi-tenant layouts and keeps the analyzer's pairwise
+// passes inside small discriminator buckets.
+
+// Fault records one seeded defect and the finding it must produce.
+type Fault struct {
+	// Code is the expected finding code; Priority its expected anchor.
+	Code     string
+	Priority int64
+}
+
+// CorpusConfig parameterizes GenerateCorpus.
+type CorpusConfig struct {
+	// Shape is one of Shapes(): "acl", "rbac", "rebac" or "hospital".
+	Shape string
+	// Rules is the approximate organic rule count (faults add a few more).
+	Rules int
+	// Seed drives deterministic generation.
+	Seed int64
+	// Faults seeds this many defects, cycling through the repairable
+	// kinds: conflict-overlap, dead-rule, write-insert-invisible,
+	// write-unselectable-target, priority-collision (at most one
+	// collision; extra cycles fall back to conflict-overlap).
+	Faults int
+}
+
+// Corpus is one generated scenario.
+type Corpus struct {
+	Name      string
+	Doc       *xmltree.Document
+	Hierarchy *subject.Hierarchy
+	// Rules is the policy in emit order (ascending priorities except for
+	// seeded collision faults).
+	Rules []policy.Rule
+	// Faults lists the seeded defects with their expected findings.
+	Faults []Fault
+}
+
+// Shapes lists the supported corpus shapes.
+func Shapes() []string { return []string{"acl", "rbac", "rebac", "hospital"} }
+
+// GenerateCorpus builds a corpus deterministically from its config.
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) {
+	b := &builder{
+		h:   subject.NewHierarchy(),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	b.doc = xmltree.New(labeling.NewFracPath())
+	var err error
+	switch cfg.Shape {
+	case "acl":
+		err = b.acl(cfg)
+	case "rbac":
+		err = b.rbac(cfg)
+	case "rebac":
+		err = b.rebac(cfg)
+	case "hospital":
+		err = b.hospital(cfg)
+	default:
+		return nil, fmt.Errorf("scenario: unknown corpus shape %q (have %v)", cfg.Shape, Shapes())
+	}
+	if err != nil {
+		return nil, err
+	}
+	faults, err := b.seedFaults(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{
+		Name:      fmt.Sprintf("%s-%d-seed%d-faults%d", cfg.Shape, cfg.Rules, cfg.Seed, cfg.Faults),
+		Doc:       b.doc,
+		Hierarchy: b.h,
+		Rules:     b.rules,
+		Faults:    faults,
+	}, nil
+}
+
+// Snapshot packages the corpus in the storage format xmlsec-lint reads.
+func (c *Corpus) Snapshot() *storage.Snapshot {
+	return &storage.Snapshot{
+		SchemeName: "fracpath",
+		Doc:        c.Doc,
+		Subjects:   c.Hierarchy,
+		Rules:      c.Rules,
+	}
+}
+
+// Policy builds an Add-validated policy from the corpus rules. It fails on
+// corpora with seeded priority collisions, which Add rejects by design.
+func (c *Corpus) Policy() (*policy.Policy, error) {
+	p := policy.New()
+	for _, r := range c.Rules {
+		if err := p.Add(c.Hierarchy, r); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// builder accumulates one corpus.
+type builder struct {
+	doc   *xmltree.Document
+	h     *subject.Hierarchy
+	rules []policy.Rule
+	next  int64
+	rng   *rand.Rand
+	// reopen lists organic denies a conflict fault may reopen: the deny's
+	// priority, a strictly narrower path inside its region, and its
+	// subject.
+	reopen []reopenTarget
+	// dupSafe indexes rules whose duplication is a pure bookkeeping fault
+	// (disjoint from fault regions, harmless to re-state).
+	dupSafe []int
+	// faultSubject is a populated subject outside the scope of any broad
+	// read grant, used for write-fault rules so their regions stay
+	// invisible.
+	faultSubject string
+}
+
+type reopenTarget struct {
+	priority   int64
+	narrowPath string
+	subject    string
+}
+
+// rule appends a rule at the next ascending priority and returns it.
+func (b *builder) rule(e policy.Effect, p policy.Privilege, path, subj string) int64 {
+	b.next++
+	b.rules = append(b.rules, policy.Rule{
+		Effect: e, Privilege: p, Path: path, Subject: subj, Priority: b.next,
+	})
+	return b.next
+}
+
+func (b *builder) el(parent *xmltree.Node, name string) (*xmltree.Node, error) {
+	return b.doc.AppendChild(parent, xmltree.KindElement, name)
+}
+
+func (b *builder) elText(parent *xmltree.Node, name, text string) error {
+	n, err := b.el(parent, name)
+	if err != nil {
+		return err
+	}
+	_, err = b.doc.AppendChild(n, xmltree.KindText, text)
+	return err
+}
+
+// acl builds per-object sharing: each object under /objects has an owner
+// and one sharee with subtree read, the owner holds the write privileges
+// on the object's data region, and a trailing deny keeps each object's
+// meta region from its sharee.
+func (b *builder) acl(cfg CorpusConfig) error {
+	objects := cfg.Rules / 6
+	if objects < 1 {
+		objects = 1
+	}
+	users := objects / 3
+	if users < 4 {
+		users = 4
+	}
+	if users > 64 {
+		users = 64
+	}
+	if err := b.h.AddRole("admin"); err != nil {
+		return err
+	}
+	if err := b.h.AddRole("member"); err != nil {
+		return err
+	}
+	if err := b.h.AddUser("root", "admin"); err != nil {
+		return err
+	}
+	names := make([]string, users)
+	for i := range names {
+		names[i] = fmt.Sprintf("u%d", i)
+		if err := b.h.AddUser(names[i], "member"); err != nil {
+			return err
+		}
+	}
+	b.faultSubject = "member"
+	root, err := b.el(b.doc.Root(), "objects")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < objects; i++ {
+		o, err := b.el(root, fmt.Sprintf("o%d", i))
+		if err != nil {
+			return err
+		}
+		if err := b.elText(o, "owner", names[i%users]); err != nil {
+			return err
+		}
+		meta, err := b.el(o, "meta")
+		if err != nil {
+			return err
+		}
+		if err := b.elText(meta, "created", fmt.Sprintf("day%d", b.rng.Intn(365))); err != nil {
+			return err
+		}
+		data, err := b.el(o, "data")
+		if err != nil {
+			return err
+		}
+		if err := b.elText(data, "item", fmt.Sprintf("payload%d", i)); err != nil {
+			return err
+		}
+	}
+	b.rule(policy.Accept, policy.Read, "/descendant-or-self::node()", "admin")
+	b.rule(policy.Accept, policy.Insert, "/objects", "admin")
+	for i := 0; i < objects; i++ {
+		owner, sharee := names[i%users], names[(i+1)%users]
+		obj := fmt.Sprintf("/objects/o%d", i)
+		idx := len(b.rules)
+		b.rule(policy.Accept, policy.Read, obj+"/descendant-or-self::node()", owner)
+		b.dupSafe = append(b.dupSafe, idx)
+		b.rule(policy.Accept, policy.Read, obj+"/descendant-or-self::node()", sharee)
+		b.rule(policy.Accept, policy.Insert, obj+"/data", owner)
+		b.rule(policy.Accept, policy.Update, obj+"/data/node()", owner)
+		b.rule(policy.Accept, policy.Delete, obj+"/data/item", owner)
+	}
+	for i := 0; i < objects; i++ {
+		sharee := names[(i+1)%users]
+		obj := fmt.Sprintf("/objects/o%d", i)
+		p := b.rule(policy.Deny, policy.Read, obj+"/meta/node()", sharee)
+		b.reopen = append(b.reopen, reopenTarget{p, obj + "/meta/created", sharee})
+	}
+	return nil
+}
+
+// rbac builds a three-level role tree (division > department > team) over
+// /org: division roles hold subtree read, team roles hold the write
+// privileges on their documents, and doc1 bodies are denied to their own
+// team last.
+func (b *builder) rbac(cfg CorpusConfig) error {
+	teams := cfg.Rules / 5
+	if teams < 1 {
+		teams = 1
+	}
+	divisions := teams / 8
+	if divisions < 2 {
+		divisions = 2
+	}
+	const depsPerDiv = 2
+	b.faultSubject = "div0" // populated via its teams' users
+	org, err := b.el(b.doc.Root(), "org")
+	if err != nil {
+		return err
+	}
+	type teamRef struct{ div, dep, team string }
+	var refs []teamRef
+	divEl := make(map[string]*xmltree.Node)
+	depEl := make(map[string]*xmltree.Node)
+	for t := 0; t < teams; t++ {
+		d := t % divisions
+		e := (t / divisions) % depsPerDiv
+		div := fmt.Sprintf("div%d", d)
+		dep := fmt.Sprintf("dep%d_%d", d, e)
+		team := fmt.Sprintf("team%d_%d_%d", d, e, t)
+		if divEl[div] == nil {
+			if err := b.h.AddRole(div); err != nil {
+				return err
+			}
+			if divEl[div], err = b.el(org, div); err != nil {
+				return err
+			}
+		}
+		if depEl[dep] == nil {
+			if err := b.h.AddRole(dep, div); err != nil {
+				return err
+			}
+			if depEl[dep], err = b.el(divEl[div], dep); err != nil {
+				return err
+			}
+		}
+		if err := b.h.AddRole(team, dep); err != nil {
+			return err
+		}
+		if err := b.h.AddUser("u_"+team, team); err != nil {
+			return err
+		}
+		tn, err := b.el(depEl[dep], team)
+		if err != nil {
+			return err
+		}
+		for n := 0; n < 2; n++ {
+			doc, err := b.el(tn, fmt.Sprintf("doc%d", n))
+			if err != nil {
+				return err
+			}
+			if err := b.elText(doc, "title", fmt.Sprintf("%s report %d", team, n)); err != nil {
+				return err
+			}
+			body, err := b.el(doc, "body")
+			if err != nil {
+				return err
+			}
+			if _, err := b.doc.AppendChild(body, xmltree.KindText,
+				fmt.Sprintf("findings %d", b.rng.Intn(1000))); err != nil {
+				return err
+			}
+		}
+		refs = append(refs, teamRef{div, dep, team})
+	}
+	for div := range divEl {
+		b.rule(policy.Accept, policy.Read, "/org/"+div+"/descendant-or-self::node()", div)
+	}
+	for _, r := range refs {
+		base := "/org/" + r.div + "/" + r.dep + "/" + r.team
+		idx := len(b.rules)
+		b.rule(policy.Accept, policy.Insert, base, r.team)
+		b.dupSafe = append(b.dupSafe, idx)
+		b.rule(policy.Accept, policy.Update, base+"/*/title/node()", r.team)
+		b.rule(policy.Accept, policy.Delete, base+"/doc0/body/node()", r.team)
+	}
+	for _, r := range refs {
+		base := "/org/" + r.div + "/" + r.dep + "/" + r.team
+		p := b.rule(policy.Deny, policy.Read, base+"/doc1/body/node()", r.team)
+		b.reopen = append(b.reopen, reopenTarget{p, base + "/doc1/body/text()", r.team})
+	}
+	return nil
+}
+
+// rebac builds relationship-based sharing: generic $USER rules give every
+// member the full privileges on objects they own (the owner element names
+// the user), per-object exact rules share content with a friend, and the
+// /objects/audit region is denied to members last.
+func (b *builder) rebac(cfg CorpusConfig) error {
+	objects := (cfg.Rules - 10) / 2
+	if objects < 1 {
+		objects = 1
+	}
+	users := objects / 3
+	if users < 4 {
+		users = 4
+	}
+	if users > 64 {
+		users = 64
+	}
+	if err := b.h.AddRole("member"); err != nil {
+		return err
+	}
+	names := make([]string, users)
+	for i := range names {
+		names[i] = fmt.Sprintf("u%d", i)
+		if err := b.h.AddUser(names[i], "member"); err != nil {
+			return err
+		}
+	}
+	b.faultSubject = "member"
+	root, err := b.el(b.doc.Root(), "objects")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < objects; i++ {
+		o, err := b.el(root, fmt.Sprintf("o%d", i))
+		if err != nil {
+			return err
+		}
+		if err := b.elText(o, "owner", names[i%users]); err != nil {
+			return err
+		}
+		content, err := b.el(o, "content")
+		if err != nil {
+			return err
+		}
+		if err := b.elText(content, "post", fmt.Sprintf("note %d", b.rng.Intn(1000))); err != nil {
+			return err
+		}
+	}
+	audit, err := b.el(root, "audit")
+	if err != nil {
+		return err
+	}
+	logs := 3
+	for j := 0; j < logs; j++ {
+		log, err := b.el(audit, fmt.Sprintf("log%d", j))
+		if err != nil {
+			return err
+		}
+		if err := b.elText(log, "entry", fmt.Sprintf("event %d", j)); err != nil {
+			return err
+		}
+	}
+	// Generic relationship rules: ownership via the $USER binding.
+	b.rule(policy.Accept, policy.Read, "/objects/*[owner = $USER]/descendant-or-self::node()", "member")
+	b.rule(policy.Accept, policy.Insert, "/objects/*[owner = $USER]/content", "member")
+	b.rule(policy.Accept, policy.Update, "/objects/*[owner = $USER]/content/node()", "member")
+	b.rule(policy.Accept, policy.Delete, "/objects/*[owner = $USER]/content/post", "member")
+	// Explicit friend shares, one per object.
+	for i := 0; i < objects; i++ {
+		friend := names[(i+2)%users]
+		idx := len(b.rules)
+		b.rule(policy.Accept, policy.Read, fmt.Sprintf("/objects/o%d/content/descendant-or-self::node()", i), friend)
+		b.dupSafe = append(b.dupSafe, idx)
+	}
+	for j := 0; j < logs; j++ {
+		path := fmt.Sprintf("/objects/audit/log%d/entry/node()", j)
+		p := b.rule(policy.Deny, policy.Read, path, "member")
+		b.reopen = append(b.reopen, reopenTarget{p, fmt.Sprintf("/objects/audit/log%d/entry/text()", j), "member"})
+	}
+	return nil
+}
+
+// hospital scales the paper's own scenario: the 12-rule policy of axiom 13
+// over a workload-generated document, plus per-patient doctor rules.
+func (b *builder) hospital(cfg CorpusConfig) error {
+	patients := (cfg.Rules - 12) / 2
+	if patients < 2 {
+		patients = 2
+	}
+	h, err := workload.HospitalHierarchy(patients)
+	if err != nil {
+		return err
+	}
+	doc, err := workload.Hospital(workload.HospitalConfig{
+		Patients:          patients,
+		RecordsPerPatient: 1,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	b.h, b.doc = h, doc
+	b.faultSubject = "patient"
+	pol, err := policy.PaperPolicy(h)
+	if err != nil {
+		return err
+	}
+	for _, r := range pol.Rules() {
+		b.rules = append(b.rules, *r)
+		b.next = r.Priority
+	}
+	// The paper's own refinement denies are the reopen targets.
+	b.reopen = append(b.reopen,
+		reopenTarget{11, "//diagnosis/text()", "secretary"},
+		reopenTarget{15, "/patients/p0", "epidemiologist"},
+	)
+	for i := 0; i < patients; i++ {
+		base := fmt.Sprintf("/patients/p%d", i)
+		idx := len(b.rules)
+		b.rule(policy.Accept, policy.Read, base+"/descendant-or-self::node()", "doctor")
+		b.dupSafe = append(b.dupSafe, idx)
+		b.rule(policy.Accept, policy.Delete, base+"/record/node()", "doctor")
+	}
+	return nil
+}
+
+// seedFaults appends n defects, cycling the repairable kinds. Fault rules
+// live in reserved regions (/limbo*, /vault* — absent from the document
+// and disjoint from every organic rule) except the conflict and collision
+// kinds, which by nature target organic rules.
+func (b *builder) seedFaults(n int) ([]Fault, error) {
+	var faults []Fault
+	kinds := []string{"conflict", "dead", "insert", "update", "collision"}
+	usedCollision := false
+	var collisionIdx []int
+	ci, region := 0, 0
+	for k := 0; k < n; k++ {
+		kind := kinds[k%len(kinds)]
+		if kind == "collision" {
+			if usedCollision || len(b.dupSafe) == 0 {
+				kind = "conflict"
+			} else {
+				usedCollision = true
+			}
+		}
+		switch kind {
+		case "conflict":
+			if len(b.reopen) == 0 {
+				return nil, fmt.Errorf("scenario: shape has no reopen targets for conflict faults")
+			}
+			t := b.reopen[ci%len(b.reopen)]
+			ci++
+			p := b.rule(policy.Accept, policy.Read, t.narrowPath, t.subject)
+			faults = append(faults, Fault{Code: "conflict-overlap", Priority: p})
+		case "dead":
+			region++
+			zone := fmt.Sprintf("/limbo%d", region)
+			p := b.rule(policy.Deny, policy.Read, zone+"/zone/node()", b.faultSubject)
+			b.rule(policy.Deny, policy.Read, zone+"/descendant-or-self::node()", b.faultSubject)
+			faults = append(faults, Fault{Code: "dead-rule", Priority: p})
+		case "insert":
+			region++
+			p := b.rule(policy.Accept, policy.Insert, fmt.Sprintf("/vault%d/stash", region), b.faultSubject)
+			faults = append(faults, Fault{Code: "write-insert-invisible", Priority: p})
+		case "update":
+			region++
+			p := b.rule(policy.Accept, policy.Update, fmt.Sprintf("/vault%d/stash/node()", region), b.faultSubject)
+			faults = append(faults, Fault{Code: "write-unselectable-target", Priority: p})
+		case "collision":
+			collisionIdx = append(collisionIdx, b.dupSafe[int(b.rng.Int63n(int64(len(b.dupSafe))))])
+		}
+	}
+	// Collision duplicates go last so the priority-disorder finding they
+	// also cause anchors deterministically on the duplicate.
+	for _, idx := range collisionIdx {
+		dup := b.rules[idx]
+		b.rules = append(b.rules, dup)
+		faults = append(faults,
+			Fault{Code: "priority-collision", Priority: dup.Priority},
+			Fault{Code: "priority-disorder", Priority: dup.Priority},
+		)
+	}
+	return faults, nil
+}

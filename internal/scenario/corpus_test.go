@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"securexml/internal/policyanalysis"
+	"securexml/internal/storage"
+)
+
+// TestCleanCorporaAnalyzeClean is the generator's core contract: with no
+// seeded faults, every shape must produce a policy the analyzer finds
+// nothing wrong with, at several sizes and seeds.
+func TestCleanCorporaAnalyzeClean(t *testing.T) {
+	for _, shape := range Shapes() {
+		for _, rules := range []int{30, 150} {
+			for seed := int64(1); seed <= 3; seed++ {
+				c, err := GenerateCorpus(CorpusConfig{Shape: shape, Rules: rules, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/%d/%d: %v", shape, rules, seed, err)
+				}
+				rep := policyanalysis.AnalyzeRules(c.Hierarchy, c.Rules)
+				if len(rep.Findings) != 0 {
+					t.Fatalf("%s (rules=%d seed=%d) not clean:\n%s", shape, rules, seed, rep.Text())
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusDeterminism: the same config generates the same rules.
+func TestCorpusDeterminism(t *testing.T) {
+	cfg := CorpusConfig{Shape: "acl", Rules: 100, Seed: 7, Faults: 6}
+	a, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		if a.Rules[i].String() != b.Rules[i].String() {
+			t.Fatalf("rule %d differs: %s vs %s", i, a.Rules[i].String(), b.Rules[i].String())
+		}
+	}
+}
+
+// TestSeededFaultsDetectedAndRepaired: every seeded fault must surface as
+// its recorded finding, every repairable finding must come with at least
+// one validated repair, and Fix must converge to zero repairable findings.
+func TestSeededFaultsDetectedAndRepaired(t *testing.T) {
+	for _, shape := range Shapes() {
+		t.Run(shape, func(t *testing.T) {
+			c, err := GenerateCorpus(CorpusConfig{Shape: shape, Rules: 80, Seed: 11, Faults: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Faults) == 0 {
+				t.Fatal("no faults recorded")
+			}
+			rr := policyanalysis.PlanRepairs(c.Doc, c.Hierarchy, c.Rules)
+			have := map[string]bool{}
+			for _, f := range rr.Findings {
+				have[f.Code+"@"+fmt.Sprint(f.Priority)] = true
+			}
+			for _, fa := range c.Faults {
+				if !have[fa.Code+"@"+fmt.Sprint(fa.Priority)] {
+					t.Errorf("seeded fault %s@%d not found; findings:\n%s", fa.Code, fa.Priority, rr.Text())
+				}
+			}
+			repaired := map[string]bool{}
+			for _, r := range rr.Repairs {
+				repaired[r.Code+"@"+fmt.Sprint(r.Priority)] = true
+			}
+			for _, f := range rr.Findings {
+				if policyanalysis.RepairableCodes[f.Code] && !repaired[f.Code+"@"+fmt.Sprint(f.Priority)] {
+					t.Errorf("repairable finding %s@%d has no validated repair", f.Code, f.Priority)
+				}
+			}
+			fixed, applied, after := policyanalysis.Fix(c.Doc, c.Hierarchy, c.Rules)
+			if len(applied) == 0 {
+				t.Fatal("Fix applied nothing on a faulty corpus")
+			}
+			for _, f := range after.Findings {
+				if policyanalysis.RepairableCodes[f.Code] {
+					t.Errorf("repairable finding survived Fix: %s@%d", f.Code, f.Priority)
+				}
+			}
+			if rep := policyanalysis.AnalyzeRules(c.Hierarchy, fixed); len(rep.Findings) != 0 {
+				t.Errorf("corpus not fully clean after Fix:\n%s", rep.Text())
+			}
+		})
+	}
+}
+
+// TestCorpusSnapshotRoundTrip: the snapshot a corpus writes reloads into
+// the same analysis, which is the path xmlsec-lint -scenario exercises.
+func TestCorpusSnapshotRoundTrip(t *testing.T) {
+	c, err := GenerateCorpus(CorpusConfig{Shape: "rbac", Rules: 60, Seed: 3, Faults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := storage.Write(&buf, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := storage.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := policyanalysis.AnalyzeRules(c.Hierarchy, c.Rules)
+	after := policyanalysis.AnalyzeRules(snap.Subjects, snap.Rules)
+	if before.Text() != after.Text() {
+		t.Fatalf("analysis changed across snapshot round-trip:\nbefore:\n%s\nafter:\n%s", before.Text(), after.Text())
+	}
+}
+
+// TestCorpusPolicyBuilds: clean corpora must pass policy.Add validation,
+// the precondition for using them as an EvaluateShared stress load.
+func TestCorpusPolicyBuilds(t *testing.T) {
+	for _, shape := range Shapes() {
+		c, err := GenerateCorpus(CorpusConfig{Shape: shape, Rules: 60, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := c.Policy()
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if pol.Len() != len(c.Rules) {
+			t.Fatalf("%s: policy dropped rules: %d vs %d", shape, pol.Len(), len(c.Rules))
+		}
+		for _, u := range c.Hierarchy.Users()[:1] {
+			if _, err := pol.Evaluate(c.Doc, c.Hierarchy, u); err != nil {
+				t.Fatalf("%s: Evaluate(%s): %v", shape, u, err)
+			}
+		}
+	}
+}

@@ -350,6 +350,22 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request, session
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, _ *core.Session) {
+	// ?fix=1 adds repair synthesis: the response switches to the canonical
+	// findings schema (internal/findings) with a repairs array, the same
+	// shape xmlsec-lint -fix -json emits.
+	if r.URL.Query().Get("fix") == "1" {
+		rr := s.db.PlanRepairsCtx(r.Context())
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, rr.Canonical().Text())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(rr.Canonical()); err != nil {
+			s.httpError(w, r, err, http.StatusInternalServerError)
+		}
+		return
+	}
 	rep := s.db.AnalyzePolicy()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -253,6 +253,34 @@ func TestAnalyzeEndpoint(t *testing.T) {
 	}
 }
 
+// TestAnalyzeFixEndpoint: ?fix=1 switches to the canonical findings schema
+// with a repairs array, matching xmlsec-lint -fix -json.
+func TestAnalyzeFixEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts, "beaufort", "/analyze?fix=1")
+	if code != http.StatusOK {
+		t.Fatalf("/analyze?fix=1: %d %s", code, body)
+	}
+	var rep struct {
+		Tool     string            `json:"tool"`
+		Findings []json.RawMessage `json:"findings"`
+		Repairs  []json.RawMessage `json:"repairs"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("JSON: %v\n%s", err, body)
+	}
+	if rep.Tool != "xmlsec-lint" {
+		t.Errorf("tool = %q, want xmlsec-lint (canonical schema)", rep.Tool)
+	}
+	if len(rep.Findings) != 0 || len(rep.Repairs) != 0 {
+		t.Errorf("clean policy should have no findings or repairs:\n%s", body)
+	}
+	code, body = get(t, ts, "beaufort", "/analyze?fix=1&format=text")
+	if code != http.StatusOK || !strings.Contains(body, "no findings") {
+		t.Errorf("text format: %d %q", code, body)
+	}
+}
+
 func TestWarmEndpoint(t *testing.T) {
 	ts := testServer(t)
 	status, body := post(t, ts, "beaufort", "/warm", "")

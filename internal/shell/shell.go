@@ -37,7 +37,7 @@ const HelpText = `Commands:
   addrole <name> [parents...]     declare a role (admin)
   adduser <name> [roles...]       declare a user (admin)
   rules | users | roles | stats   inspect the database
-  lint                            static policy analysis (admin)
+  lint [-fix]                     static policy analysis (admin); -fix adds repairs
   source                          print the raw document (admin)
   save <file>                     write a durable snapshot (admin)
   open <file>                     restore a snapshot (admin)
@@ -156,6 +156,10 @@ func (sh *Shell) Execute(line string) error {
 		sh.printf("%s\n", sh.db.SourceXML())
 		return nil
 	case "lint":
+		if strings.TrimSpace(rest) == "-fix" {
+			sh.printf("%s", sh.db.PlanRepairs().Canonical().Text())
+			return nil
+		}
 		sh.printf("%s", sh.db.AnalyzePolicy().Text())
 		return nil
 	case "save":

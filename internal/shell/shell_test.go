@@ -305,3 +305,22 @@ func TestLintCommand(t *testing.T) {
 		t.Errorf("lint after covert grant: %q", out)
 	}
 }
+
+func TestLintFixCommand(t *testing.T) {
+	out := run(t, "lint -fix")
+	if !strings.Contains(out, "no findings") {
+		t.Errorf("lint -fix on the paper policy: %q", out)
+	}
+	// Reopen the secretary diagnosis deny: lint -fix must print the
+	// finding together with a validated repair suggestion.
+	out = run(t,
+		"grant read secretary //diagnosis/node()",
+		"lint -fix",
+	)
+	if !strings.Contains(out, "conflict-overlap") {
+		t.Errorf("lint -fix after reopening grant: %q", out)
+	}
+	if !strings.Contains(out, "repair  conflict-overlap") {
+		t.Errorf("lint -fix printed no repair: %q", out)
+	}
+}

@@ -100,9 +100,11 @@ func TestSeededViolations(t *testing.T) {
 		{"obslabel", []string{
 			"obslabel/nonconstant-label/fmt.Sprintf(\"stage_%s\", name)",
 			"obslabel/nonconstant-label/fmt.Sprintf(\"u-%s\", user)",
+			"obslabel/nonconstant-label/verdict(v)",
 		}},
 		{"ctxflow", []string{
 			"ctxflow/ctx-background/context.Background",
+			"ctxflow/ctx-shim/Fix",
 			"ctxflow/ctx-shim/Handle",
 			"ctxflow/ctx-unused/ctx",
 		}},

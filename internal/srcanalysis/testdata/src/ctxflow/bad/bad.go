@@ -36,3 +36,19 @@ func HandleCtx(ctx context.Context, key string) string {
 	_ = ctx
 	return key
 }
+
+// Fix mirrors a repair-engine entry point that grows its own iteration
+// logic instead of forwarding to FixCtx: the dry-run path and the traced
+// path can drift apart.
+func Fix(key string) string {
+	if key == "" {
+		return "clean"
+	}
+	return key
+}
+
+// FixCtx is the context-aware variant Fix fails to forward to.
+func FixCtx(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}

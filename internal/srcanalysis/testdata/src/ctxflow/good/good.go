@@ -23,3 +23,13 @@ func inner(ctx context.Context, key string) string {
 	}
 	return key
 }
+
+// PlanCtx mirrors the repair planner's context-aware entry point.
+func PlanCtx(ctx context.Context, key string) string {
+	return inner(ctx, key)
+}
+
+// Plan is its sanctioned compat shim: one forwarding statement.
+func Plan(key string) string {
+	return PlanCtx(context.Background(), key)
+}

@@ -18,3 +18,13 @@ func Leak(user string) {
 func StageLeak(name string) {
 	obs.Stage(fmt.Sprintf("stage_%s", name))
 }
+
+// RepairLeak labels a repair counter with a runtime-computed verdict
+// instead of one literal counter per outcome.
+func RepairLeak(v int) {
+	obs.Default().Counter("vettest_repairs_total", "outcome", verdict(v)).Inc()
+}
+
+func verdict(v int) string {
+	return fmt.Sprintf("v%d", v)
+}

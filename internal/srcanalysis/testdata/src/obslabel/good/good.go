@@ -41,3 +41,21 @@ func RecordOK() { recordOutcome("ok") }
 
 // RecordErr records a failure.
 func RecordErr() { recordOutcome("error") }
+
+// Package-level literal-label counters are the repair engine's idiom:
+// one counter per outcome, labels fixed at var-declaration time.
+var (
+	plansTotal    = obs.Default().Counter("vettest_plans_total")
+	candsOffered  = obs.Default().Counter("vettest_cands_total", "outcome", "offered")
+	candsRejected = obs.Default().Counter("vettest_cands_total", "outcome", "rejected")
+)
+
+// PlanOutcome bumps the fixed-label counters.
+func PlanOutcome(ok bool) {
+	plansTotal.Inc()
+	if ok {
+		candsOffered.Inc()
+	} else {
+		candsRejected.Inc()
+	}
+}
