@@ -54,6 +54,8 @@ bench-smoke:
 	$(GO) run ./cmd/xmlsec-bench -validate BENCH_obs.json
 	$(GO) run ./cmd/xmlsec-bench -exp b12 -quick -b12-out BENCH_b12_quick.json
 	$(GO) run ./cmd/xmlsec-bench -validate-b12 BENCH_b12_quick.json
+	$(GO) run ./cmd/xmlsec-bench -exp b14 -quick -b14-out BENCH_b14_quick.json
+	$(GO) run ./cmd/xmlsec-bench -validate-b14 BENCH_b14_quick.json
 
 # Bounded fuzzing of the parser targets and the incremental-view
 # differential target from their seed corpora.
@@ -63,3 +65,4 @@ fuzz:
 	$(GO) test ./internal/datalog -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/view -fuzz FuzzIncrementalView -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/policyanalysis -fuzz FuzzRepair -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/rewrite -fuzz FuzzRewrite -fuzztime $(FUZZTIME) -run '^$$'

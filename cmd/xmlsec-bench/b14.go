@@ -1,0 +1,412 @@
+// Experiment B14 (EXPERIMENTS.md): static rewrite vs per-user views as the
+// fleet scales. The document is held constant while the user count grows
+// 8 → 512. Two fixed probe cohorts — the three staff logins and five
+// patients — answer the query corpus through both read strategies at every
+// fleet size: the rewrite path evaluates guarded plans over the source
+// document (profile-shared programs, no per-user state), the view path
+// starts each probe cold (policy evaluation + materialization, the cost a
+// view-based server pays per new user) and queries the view. Both paths
+// are verified answer-for-answer before anything is timed.
+//
+// The headline is the scaling shape, not a single speedup: per-query probe
+// latency on the rewrite path stays flat as the fleet grows and the
+// rewriter's state stays at one program per rule profile, while the view
+// strategy's resident node count — the storage needed to keep the whole
+// fleet served — grows with every user. Rows are emitted as
+// BENCH_b14.json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"securexml/internal/policy"
+	"securexml/internal/rewrite"
+	"securexml/internal/subject"
+	"securexml/internal/view"
+	"securexml/internal/workload"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+const b14Schema = "securexml/bench-b14/v1"
+
+type b14Row struct {
+	Users    int `json:"users"`
+	Nodes    int `json:"nodes"`
+	Queries  int `json:"queries"`
+	Programs int `json:"programs"`
+	// Per-query probe latencies, by cohort and path. The cohorts are
+	// identical at every fleet size, so each column must stay flat.
+	RewriteStaffNs   float64 `json:"rewrite_staff_ns_per_query"`
+	RewritePatientNs float64 `json:"rewrite_patient_ns_per_query"`
+	ViewStaffNs      float64 `json:"view_staff_ns_per_query"`
+	ViewPatientNs    float64 `json:"view_patient_ns_per_query"`
+	// ViewNodesResident is the total materialized-view size across the
+	// whole fleet — the per-user storage the rewrite path never builds.
+	ViewNodesResident int `json:"view_nodes_resident"`
+}
+
+type b14Report struct {
+	Schema string   `json:"schema"`
+	Quick  bool     `json:"quick"`
+	Rows   []b14Row `json:"rows"`
+}
+
+// b14Queries is the probe workload: node-set and atomic queries inside and
+// around the $USER-dependent part of the paper policy.
+var b14Queries = []string{
+	"//diagnosis",
+	"/patients/*",
+	"//service/text()",
+	"/patients/*[name() = $USER]/descendant-or-self::node()",
+	"count(//RESTRICTED)",
+}
+
+// b14MaxUsers bounds the sweep; the document carries one patient element
+// per possible patient user so the tree is identical for every row.
+const b14MaxUsers = 512
+
+var (
+	b14StaffProbe   = []string{"beaufort", "laporte", "richard"}
+	b14PatientProbe = []string{"p0", "p1", "p2", "p3", "p4"}
+)
+
+func b14Env() (*xmltree.Document, *subject.Hierarchy, *policy.Policy, error) {
+	patients := b14MaxUsers // every fleet size sees the same document
+	d, err := workload.Hospital(workload.HospitalConfig{Patients: patients, RecordsPerPatient: 1, Seed: 1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	h, err := workload.HospitalHierarchy(patients)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := workload.HospitalPolicy(h)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, h, p, nil
+}
+
+// b14Fleet returns the first n users: the three staff logins, then
+// patients.
+func b14Fleet(n int) []string {
+	users := append([]string(nil), b14StaffProbe...)
+	for i := 0; len(users) < n; i++ {
+		users = append(users, fmt.Sprintf("p%d", i))
+	}
+	return users[:n]
+}
+
+// b14RewriteAnswer renders one rewritten answer (mirrors how core.Session
+// serves the rewrite tier).
+func b14RewriteAnswer(pg *rewrite.Program, root *xmltree.Node, user, q string) ([]string, error) {
+	pl, err := pg.PlanFor(q)
+	if err != nil {
+		return nil, err
+	}
+	vars := xpath.Vars{"USER": xpath.String(user)}
+	if pl.Mode == rewrite.PlanEmpty {
+		return nil, nil
+	}
+	var sec *xpath.Security
+	var st *rewrite.EvalState
+	if pl.Mode == rewrite.PlanGuarded {
+		sec, st = pg.Security(vars)
+	}
+	val, err := pl.Eval(root, vars, sec)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil && st.Err() != nil {
+		return nil, st.Err()
+	}
+	return b14Render(val, sec), nil
+}
+
+func b14Render(val xpath.Value, sec *xpath.Security) []string {
+	if ns, ok := val.(xpath.NodeSet); ok {
+		rows := make([]string, len(ns))
+		for i, n := range ns {
+			rows[i] = fmt.Sprintf("%s %q %q", n.ID(), sec.EffectiveLabel(n), sec.StringValue(n))
+		}
+		return rows
+	}
+	return []string{val.TypeName() + " " + val.Str()}
+}
+
+// b14Verify pins rewrite == view answer-for-answer for both probe cohorts
+// before anything is timed.
+func b14Verify(d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, eng *rewrite.Engine, users []string) error {
+	for _, u := range users {
+		pg, reason := eng.ProgramFor(u)
+		if pg == nil {
+			return fmt.Errorf("user %s: rewrite fallback (%v) on the chain-only paper policy", u, reason)
+		}
+		pm, err := p.Evaluate(d, h, u)
+		if err != nil {
+			return err
+		}
+		v := view.Materialize(d, pm)
+		for _, q := range b14Queries {
+			got, err := b14RewriteAnswer(pg, d.Root(), u, q)
+			if err != nil {
+				return fmt.Errorf("user %s query %s: %w", u, q, err)
+			}
+			c, err := xpath.Compile(q)
+			if err != nil {
+				return err
+			}
+			val, err := c.Eval(v.Doc.Root(), xpath.Vars{"USER": xpath.String(u)})
+			if err != nil {
+				return err
+			}
+			want := b14Render(val, nil)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				return fmt.Errorf("user %s query %s: rewrite %v, view %v", u, q, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// b14TimeRewrite measures the probe cohort through the shared engine.
+func b14TimeRewrite(eng *rewrite.Engine, root *xmltree.Node, probe []string, reps int) (time.Duration, error) {
+	start := time.Now()
+	for rep := 0; rep < reps; rep++ {
+		for _, u := range probe {
+			pg, _ := eng.ProgramFor(u)
+			for _, q := range b14Queries {
+				if _, err := b14RewriteAnswer(pg, root, u, q); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// b14TimeView measures the probe cohort cold on the view path: each user
+// pays policy evaluation + materialization, then queries the view.
+func b14TimeView(d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, probe []string, reps int) (time.Duration, error) {
+	start := time.Now()
+	for rep := 0; rep < reps; rep++ {
+		for _, u := range probe {
+			pm, err := p.Evaluate(d, h, u)
+			if err != nil {
+				return 0, err
+			}
+			v := view.Materialize(d, pm)
+			vars := xpath.Vars{"USER": xpath.String(u)}
+			for _, q := range b14Queries {
+				c, err := xpath.Compile(q)
+				if err != nil {
+					return 0, err
+				}
+				if _, err := c.Eval(v.Doc.Root(), vars); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+func b14Run(d *xmltree.Document, h *subject.Hierarchy, p *policy.Policy, fleet []string, reps int) (b14Row, error) {
+	row := b14Row{Users: len(fleet), Nodes: d.Len(), Queries: len(b14Queries)}
+
+	// One engine per policy epoch, exactly like internal/core keys it; the
+	// whole fleet registers before the probes run, so the engine carries
+	// the per-fleet state (which is just one program per rule profile).
+	eng := rewrite.NewEngine(p, h)
+	programs := map[*rewrite.Program]bool{}
+	for _, u := range fleet {
+		pg, reason := eng.ProgramFor(u)
+		if pg == nil {
+			return row, fmt.Errorf("user %s: rewrite fallback (%v)", u, reason)
+		}
+		programs[pg] = true
+	}
+	row.Programs = len(programs)
+	if err := b14Verify(d, h, p, eng, append(append([]string{}, b14StaffProbe...), b14PatientProbe...)); err != nil {
+		return row, err
+	}
+
+	// The view strategy's fleet cost: one materialized view per user.
+	for _, u := range fleet {
+		pm, err := p.Evaluate(d, h, u)
+		if err != nil {
+			return row, err
+		}
+		row.ViewNodesResident += view.Materialize(d, pm).Doc.Len()
+	}
+
+	// One untimed pass per measurement warms plan caches and the allocator,
+	// then batches repeat until a wall-clock floor is reached so the tiny
+	// patient-view timings are not dominated by scheduler/GC noise.
+	minMeasure := 200 * time.Millisecond
+	if quick {
+		minMeasure = 50 * time.Millisecond
+	}
+	measure := func(batch func(reps int) (time.Duration, error), probe []string) (float64, error) {
+		if _, err := batch(1); err != nil {
+			return 0, err
+		}
+		var total time.Duration
+		samples := 0
+		for total < minMeasure || samples < reps*len(probe)*len(b14Queries) {
+			d, err := batch(reps)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+			samples += reps * len(probe) * len(b14Queries)
+		}
+		return float64(total.Nanoseconds()) / float64(samples), nil
+	}
+	var err2 error
+	row.RewriteStaffNs, err2 = measure(func(r int) (time.Duration, error) {
+		return b14TimeRewrite(eng, d.Root(), b14StaffProbe, r)
+	}, b14StaffProbe)
+	if err2 != nil {
+		return row, err2
+	}
+	row.RewritePatientNs, err2 = measure(func(r int) (time.Duration, error) {
+		return b14TimeRewrite(eng, d.Root(), b14PatientProbe, r)
+	}, b14PatientProbe)
+	if err2 != nil {
+		return row, err2
+	}
+	row.ViewStaffNs, err2 = measure(func(r int) (time.Duration, error) {
+		return b14TimeView(d, h, p, b14StaffProbe, r)
+	}, b14StaffProbe)
+	if err2 != nil {
+		return row, err2
+	}
+	row.ViewPatientNs, err2 = measure(func(r int) (time.Duration, error) {
+		return b14TimeView(d, h, p, b14PatientProbe, r)
+	}, b14PatientProbe)
+	return row, err2
+}
+
+func b14RewriteScaling() error {
+	header("B14 — static rewrite vs per-user views: fleet scaling on a fixed document")
+	sizes := []int{8, 32, 128, 512}
+	reps := 5
+	if quick {
+		sizes = []int{8, 64}
+		reps = 2
+	}
+	d, h, p, err := b14Env()
+	if err != nil {
+		return err
+	}
+	rep := b14Report{Schema: b14Schema, Quick: quick}
+	fmt.Printf("%7s %9s %14s %14s %14s %14s %12s\n",
+		"users", "programs", "rw staff", "rw patient", "view staff", "view patient", "view nodes")
+	for _, n := range sizes {
+		row, err := b14Run(d, h, p, b14Fleet(n), reps)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%7d %9d %14s %14s %14s %14s %12d\n",
+			row.Users, row.Programs,
+			time.Duration(row.RewriteStaffNs), time.Duration(row.RewritePatientNs),
+			time.Duration(row.ViewStaffNs), time.Duration(row.ViewPatientNs),
+			row.ViewNodesResident)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(b14Out, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", b14Out)
+	fmt.Println("Expected shape: every per-query probe column stays flat as the fleet grows")
+	fmt.Println("and the program count stays at the profile count, while the view path's")
+	fmt.Println("resident node count grows with every user. On a document this small the")
+	fmt.Println("materialized view answers individual queries faster — the rewrite tier's")
+	fmt.Println("win is what it does NOT hold: no per-user view, no per-user program, so")
+	fmt.Println("serving cost is independent of how many users the fleet has accumulated.")
+	return nil
+}
+
+// validateB14Report checks an emitted B14 report against its schema: rows
+// must sweep strictly growing fleets over one fixed document, the view
+// path's resident storage must grow with the fleet, the rewriter's program
+// count must not, and every per-query probe latency must stay flat (a 2x
+// tolerance absorbs CI timer noise; quiet machines land within ±10%).
+func validateB14Report(path string) (*b14Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep b14Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != b14Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, b14Schema)
+	}
+	if len(rep.Rows) < 2 {
+		return nil, fmt.Errorf("%s: %d rows, want a sweep of at least 2", path, len(rep.Rows))
+	}
+	cols := []struct {
+		name string
+		get  func(b14Row) float64
+	}{
+		{"rewrite_staff", func(r b14Row) float64 { return r.RewriteStaffNs }},
+		{"rewrite_patient", func(r b14Row) float64 { return r.RewritePatientNs }},
+		{"view_staff", func(r b14Row) float64 { return r.ViewStaffNs }},
+		{"view_patient", func(r b14Row) float64 { return r.ViewPatientNs }},
+	}
+	for i, r := range rep.Rows {
+		switch {
+		case r.Users <= 0 || r.Nodes <= 0 || r.Queries <= 0 || r.Programs <= 0:
+			return nil, fmt.Errorf("%s: row %d: non-positive size fields", path, i)
+		case r.ViewNodesResident <= 0:
+			return nil, fmt.Errorf("%s: row %d: non-positive resident view size", path, i)
+		}
+		for _, c := range cols {
+			if c.get(r) <= 0 {
+				return nil, fmt.Errorf("%s: row %d: non-positive %s timing", path, i, c.name)
+			}
+		}
+		if i > 0 {
+			prev := rep.Rows[i-1]
+			if r.Users <= prev.Users {
+				return nil, fmt.Errorf("%s: row %d: users %d not growing", path, i, r.Users)
+			}
+			if r.Nodes != prev.Nodes {
+				return nil, fmt.Errorf("%s: row %d: document changed mid-sweep (%d vs %d nodes)", path, i, r.Nodes, prev.Nodes)
+			}
+			if r.ViewNodesResident <= prev.ViewNodesResident {
+				return nil, fmt.Errorf("%s: row %d: view storage did not grow with the fleet", path, i)
+			}
+			if r.Programs != prev.Programs {
+				return nil, fmt.Errorf("%s: row %d: program count changed with fleet size (%d vs %d)", path, i, r.Programs, prev.Programs)
+			}
+		}
+	}
+	for _, c := range cols {
+		lo, hi := c.get(rep.Rows[0]), c.get(rep.Rows[0])
+		for _, r := range rep.Rows[1:] {
+			if v := c.get(r); v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		if hi > 2*lo {
+			return nil, fmt.Errorf("%s: %s per-query cost not flat: %.0fns..%.0fns across the sweep",
+				path, c.name, lo, hi)
+		}
+	}
+	return &rep, nil
+}

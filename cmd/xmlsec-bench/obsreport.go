@@ -157,6 +157,20 @@ func obsWorkload(db *core.Database, patients, iters int, tracer *obs.Tracer) (in
 			}
 			ops++
 		}
+		// Every 7th iteration pulls the materialized view. Since the read
+		// ladder (core.QueryTieredCtx), plain queries are served by the
+		// static-rewrite tier without touching the view cache — explicit
+		// view pulls and the write path are the cache's clients.
+		if i%7 == 0 {
+			err := obsOp(tracer, "bench_view", func(ctx context.Context) error {
+				_, err := doctor.ViewCtx(ctx)
+				return err
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			ops++
+		}
 		// Every 10th iteration writes, bumping the document version: the
 		// steady state is ~90% cache hits on the read side.
 		if i%10 == 9 {

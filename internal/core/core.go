@@ -28,6 +28,7 @@ import (
 	"securexml/internal/policy"
 	"securexml/internal/policyanalysis"
 	"securexml/internal/qfilter"
+	"securexml/internal/rewrite"
 	"securexml/internal/storage"
 	"securexml/internal/subject"
 	"securexml/internal/view"
@@ -68,6 +69,52 @@ var (
 	// configured limit) before entries are silently lost.
 	auditDepth = obs.Default().Gauge("xmlsec_audit_ring_depth")
 )
+
+// Tier identifies which rung of the read ladder served a query (§4.4.1
+// enforcement strategies): the static rewrite over the source document,
+// the qfilter per-node security filter, or the materialized view.
+type Tier int
+
+// The ladder tiers, cheapest first.
+const (
+	TierRewrite Tier = iota
+	TierQfilter
+	TierView
+	numTiers
+)
+
+// String names the tier.
+func (t Tier) String() string { return t.MetricLabel() }
+
+// MetricLabel returns the tier's telemetry label; every branch is a
+// literal so labels stay compile-time bounded (xmlsec-vet obslabel).
+func (t Tier) MetricLabel() string {
+	switch t {
+	case TierRewrite:
+		return "rewrite"
+	case TierQfilter:
+		return "qfilter"
+	case TierView:
+		return "view"
+	default:
+		return "unknown"
+	}
+}
+
+// Telemetry: queries served per ladder tier, resolved once.
+var queryTierCounters = func() (c [numTiers]*obs.Counter) {
+	for t := Tier(0); t < numTiers; t++ {
+		c[t] = obs.Default().Counter("xmlsec_query_tier_total", "tier", t.MetricLabel())
+	}
+	return
+}()
+
+// countTier records one query served by tier.
+func countTier(t Tier) {
+	if t >= 0 && t < numTiers {
+		queryTierCounters[t].Inc()
+	}
+}
 
 // sessionOp counts one session operation by name and outcome (ok | error).
 func sessionOp(op, outcome string) {
@@ -146,6 +193,31 @@ type Database struct {
 	// user instead of re-materializing per connection.
 	sessMu   sync.Mutex
 	sessions map[string]*Session
+
+	// rewriteEng is the static query-rewriting engine for policy epoch
+	// rewriteEpoch (see internal/rewrite). It is keyed by the epoch alone —
+	// rewritten plans depend only on the policy and hierarchy, so they
+	// survive arbitrary document mutations. Own lock for the same reason
+	// as ruleCache: the query path holds db.mu only for reading.
+	rewriteMu    sync.Mutex
+	rewriteEng   *rewrite.Engine
+	rewriteEpoch uint64
+}
+
+// rewriteEngine returns the rewrite engine for the current policy epoch,
+// replacing it when the policy or the subject hierarchy moved (both bump
+// policyEpoch). Callers hold db.mu (read or write), which pins the epoch
+// and excludes concurrent mutation of the policy and hierarchy the engine
+// reads.
+func (db *Database) rewriteEngine() *rewrite.Engine {
+	epoch := db.policyEpoch
+	db.rewriteMu.Lock()
+	defer db.rewriteMu.Unlock()
+	if db.rewriteEng == nil || db.rewriteEpoch != epoch {
+		db.rewriteEng = rewrite.NewEngine(db.policy, db.subjects)
+		db.rewriteEpoch = epoch
+	}
+	return db.rewriteEng
 }
 
 // sharedRuleCache returns the cross-user rule cache for the database's
@@ -729,8 +801,13 @@ type Result struct {
 	Value string // XPath string-value
 }
 
-// Query evaluates an XPath expression against the user's view and returns
-// the matching nodes (§4.4.1: users only ever query their view).
+// Query evaluates an XPath expression and returns the matching nodes as
+// the user's view shows them (§4.4.1). Queries route through a three-tier
+// read ladder — static rewrite over the source document, qfilter security
+// filter, materialized view — whose tiers are answer-equivalent (pinned by
+// internal/rewrite's differential oracle and internal/qfilter's property
+// tests), so the tier choice is invisible except in latency and the
+// xmlsec_query_tier_total counters.
 func (s *Session) Query(path string) ([]Result, error) {
 	return s.QueryCtx(context.Background(), path)
 }
@@ -738,35 +815,146 @@ func (s *Session) Query(path string) ([]Result, error) {
 // QueryCtx is Query with a request context: the request ID (if any) is
 // threaded into the audit entry alongside the operation's duration.
 func (s *Session) QueryCtx(ctx context.Context, path string) ([]Result, error) {
+	out, _, err := s.QueryTieredCtx(ctx, path)
+	return out, err
+}
+
+// QueryTiered is Query also reporting which ladder tier served the answer.
+func (s *Session) QueryTiered(path string) ([]Result, Tier, error) {
+	return s.QueryTieredCtx(context.Background(), path)
+}
+
+// QueryTieredCtx evaluates path through the read ladder:
+//
+//  1. The static rewrite runs the query on the source document with the
+//     policy compiled into a chain-derived security filter — no per-node
+//     permission mask, no view; plans are cached per (policy epoch, rule
+//     profile, query), independent of the document and of user count.
+//  2. Outside the rewriter's fragment, the qfilter path evaluates on the
+//     source under the user's axiom-14 mask (skipped when the session's
+//     cached view is already current — then the view is free).
+//  3. Otherwise the materialized view serves, warming the session cache.
+func (s *Session) QueryTieredCtx(ctx context.Context, path string) ([]Result, Tier, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_query", queryStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	v, err := s.currentView(ctx)
-	if err != nil {
+	fail := func(tier Tier, err error) ([]Result, Tier, error) {
 		sessionOp("query", "error")
 		s.db.recordCtx(ctx, "query", s.user, path, "error: "+err.Error(), sp.End())
-		return nil, err
+		return nil, tier, err
+	}
+	done := func(tier Tier, out []Result) ([]Result, Tier, error) {
+		countTier(tier)
+		sp.Annotate("query_tier", tier.String())
+		sessionOp("query", "ok")
+		s.db.recordCtx(ctx, "query", s.user, path, fmt.Sprintf("%d nodes", len(out)), sp.End())
+		return out, tier, nil
+	}
+
+	// Tier 1: static rewrite.
+	if pg, _ := s.db.rewriteEngine().ProgramFor(s.user); pg != nil {
+		pl, err := pg.PlanFor(path)
+		if err != nil {
+			return fail(TierRewrite, err) // compile errors are tier-independent
+		}
+		switch pl.Mode {
+		case rewrite.PlanEmpty:
+			return done(TierRewrite, []Result{})
+		case rewrite.PlanTransparent:
+			_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+			ns, err := pl.Select(s.db.doc.Root(), s.vars(), nil)
+			xe.AnnotateInt("selected", int64(len(ns)))
+			xe.End()
+			if err == nil {
+				return done(TierRewrite, filteredResults(ns, nil))
+			}
+			rewrite.CountFallback(rewrite.ReasonEvalError)
+		default:
+			sec, st := pg.Security(s.vars())
+			_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+			ns, err := pl.Select(s.db.doc.Root(), s.vars(), sec)
+			xe.AnnotateInt("selected", int64(len(ns)))
+			xe.End()
+			if err == nil && st.Err() == nil {
+				return done(TierRewrite, filteredResults(ns, sec))
+			}
+			rewrite.CountFallback(rewrite.ReasonEvalError)
+		}
+	} else {
+		rewrite.CountFallback(rewrite.ReasonRuleFragment)
+	}
+
+	// Tier 2: qfilter, unless the cached view is already current.
+	if !s.viewFresh() {
+		pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+		if err != nil {
+			return fail(TierQfilter, err)
+		}
+		c, err := xpath.Compile(path)
+		if err != nil {
+			return fail(TierQfilter, err)
+		}
+		sec := qfilter.ForPerms(pm)
+		_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+		ns, err := c.SelectFiltered(s.db.doc.Root(), s.vars(), sec)
+		xe.AnnotateInt("selected", int64(len(ns)))
+		xe.End()
+		if err != nil {
+			return fail(TierQfilter, err)
+		}
+		return done(TierQfilter, filteredResults(ns, sec))
+	}
+
+	// Tier 3: the materialized view.
+	v, err := s.currentView(ctx)
+	if err != nil {
+		return fail(TierView, err)
 	}
 	_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
 	ns, err := xpath.Select(v.Doc, path, s.vars())
 	xe.AnnotateInt("selected", int64(len(ns)))
 	xe.End()
 	if err != nil {
-		sessionOp("query", "error")
-		s.db.recordCtx(ctx, "query", s.user, path, "error: "+err.Error(), sp.End())
-		return nil, err
+		return fail(TierView, err)
 	}
 	out := make([]Result, len(ns))
 	for i, n := range ns {
 		out[i] = Result{Kind: n.Kind(), Label: n.Label(), Path: n.Path(), Value: n.StringValue()}
 	}
-	sessionOp("query", "ok")
-	s.db.recordCtx(ctx, "query", s.user, path, fmt.Sprintf("%d nodes", len(out)), sp.End())
-	return out, nil
+	return done(TierView, out)
+}
+
+// filteredResults renders source nodes exactly as the user's materialized
+// view would show them: effective labels, filtered string-values, view
+// paths. A nil sec means the profile is transparent (stored labels).
+func filteredResults(ns xpath.NodeSet, sec *xpath.Security) []Result {
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{
+			Kind:  n.Kind(),
+			Label: sec.EffectiveLabel(n),
+			Path:  sec.Path(n),
+			Value: sec.StringValue(n),
+		}
+	}
+	return out
+}
+
+// viewFresh reports whether the session's cached view matches the current
+// (docGen, version, epoch) exactly — without materializing or patching
+// anything. Callers hold db.mu.
+func (s *Session) viewFresh() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cached != nil && s.cachedGen == s.db.docGen &&
+		s.cachedVer == s.db.doc.Version() && s.cachedEpoch == s.db.policyEpoch
 }
 
 // QueryValue evaluates an XPath expression that may yield an atomic value
-// (count(), boolean tests, string()...) against the user's view.
+// (count(), boolean tests, string()...) against the user's view, through
+// the same read ladder as Query. Non-empty node-set values always come
+// from the materialized view: handing out raw source nodes would leak
+// hidden labels.
 func (s *Session) QueryValue(path string) (xpath.Value, error) {
 	return s.QueryValueCtx(context.Background(), path)
 }
@@ -775,32 +963,112 @@ func (s *Session) QueryValue(path string) (xpath.Value, error) {
 // any) is threaded into the audit entry alongside the operation's
 // duration.
 func (s *Session) QueryValueCtx(ctx context.Context, path string) (xpath.Value, error) {
+	val, _, err := s.QueryValueTieredCtx(ctx, path)
+	return val, err
+}
+
+// QueryValueTiered is QueryValue also reporting the serving tier.
+func (s *Session) QueryValueTiered(path string) (xpath.Value, Tier, error) {
+	return s.QueryValueTieredCtx(context.Background(), path)
+}
+
+// QueryValueTieredCtx evaluates an arbitrary expression through the read
+// ladder (see QueryTieredCtx). Atomic values are served by the first tier
+// that succeeds; a non-empty node-set forces the view tier.
+func (s *Session) QueryValueTieredCtx(ctx context.Context, path string) (xpath.Value, Tier, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_query_value", valueStage)
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	v, err := s.currentView(ctx)
-	if err != nil {
+	fail := func(tier Tier, err error) (xpath.Value, Tier, error) {
 		sessionOp("query_value", "error")
 		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
-		return nil, err
+		return nil, tier, err
+	}
+	done := func(tier Tier, val xpath.Value) (xpath.Value, Tier, error) {
+		countTier(tier)
+		sp.Annotate("query_tier", tier.String())
+		sessionOp("query_value", "ok")
+		s.db.recordCtx(ctx, "query_value", s.user, path, val.TypeName(), sp.End())
+		return val, tier, nil
+	}
+
+	// Tier 1: static rewrite.
+	nodeSetValue := false
+	if pg, _ := s.db.rewriteEngine().ProgramFor(s.user); pg != nil {
+		pl, err := pg.PlanFor(path)
+		if err != nil {
+			return fail(TierRewrite, err)
+		}
+		if pl.Mode == rewrite.PlanEmpty {
+			// Empty plans only arise from path expressions, whose value is
+			// a node-set — here the provably empty one.
+			return done(TierRewrite, xpath.NodeSet(nil))
+		}
+		var sec *xpath.Security
+		var st *rewrite.EvalState
+		if pl.Mode == rewrite.PlanGuarded {
+			sec, st = pg.Security(s.vars())
+		}
+		_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+		val, err := pl.Eval(s.db.doc.Root(), s.vars(), sec)
+		xe.End()
+		stErr := error(nil)
+		if st != nil {
+			stErr = st.Err()
+		}
+		switch {
+		case err != nil || stErr != nil:
+			rewrite.CountFallback(rewrite.ReasonEvalError)
+		default:
+			if ns, ok := val.(xpath.NodeSet); ok && len(ns) > 0 {
+				nodeSetValue = true
+				rewrite.CountFallback(rewrite.ReasonNodeSetValue)
+			} else {
+				return done(TierRewrite, val)
+			}
+		}
+	} else {
+		rewrite.CountFallback(rewrite.ReasonRuleFragment)
+	}
+
+	// Tier 2: qfilter — pointless for node-set values (it would also
+	// produce source nodes) and skipped when the cached view is current.
+	if !nodeSetValue && !s.viewFresh() {
+		pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+		if err != nil {
+			return fail(TierQfilter, err)
+		}
+		c, err := xpath.Compile(path)
+		if err != nil {
+			return fail(TierQfilter, err)
+		}
+		_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+		val, err := c.EvalFiltered(s.db.doc.Root(), s.vars(), qfilter.ForPerms(pm))
+		xe.End()
+		if err != nil {
+			return fail(TierQfilter, err)
+		}
+		if ns, ok := val.(xpath.NodeSet); !ok || len(ns) == 0 {
+			return done(TierQfilter, val)
+		}
+	}
+
+	// Tier 3: the materialized view.
+	v, err := s.currentView(ctx)
+	if err != nil {
+		return fail(TierView, err)
 	}
 	c, err := xpath.Compile(path)
 	if err != nil {
-		sessionOp("query_value", "error")
-		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
-		return nil, err
+		return fail(TierView, err)
 	}
 	_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
 	val, err := c.Eval(v.Doc.Root(), s.vars())
 	xe.End()
 	if err != nil {
-		sessionOp("query_value", "error")
-		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
-		return nil, err
+		return fail(TierView, err)
 	}
-	sessionOp("query_value", "ok")
-	s.db.recordCtx(ctx, "query_value", s.user, path, val.TypeName(), sp.End())
-	return val, nil
+	return done(TierView, val)
 }
 
 // recordCtx is record with the context's request ID and a duration.

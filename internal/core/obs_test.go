@@ -17,28 +17,31 @@ func cacheCounts() (hits, cold, doc, epoch uint64) {
 
 // TestViewCacheCounters walks the session cache through its four outcomes —
 // cold miss, hit, doc-version miss after a write, policy-epoch miss after a
-// grant — and asserts exactly one counter moves each time.
+// grant — and asserts exactly one counter moves each time. Views are pulled
+// explicitly: since the read ladder (QueryTieredCtx), queries for chain-only
+// profiles are served by the rewrite tier and never touch the view cache —
+// View/ViewXML and the write path remain the cache's clients.
 func TestViewCacheCounters(t *testing.T) {
 	db := hospital(t)
 	s := session(t, db, "laporte")
 
 	h0, c0, d0, e0 := cacheCounts()
-	if _, err := s.Query("//diagnosis"); err != nil {
+	if _, err := s.View(); err != nil {
 		t.Fatal(err)
 	}
 	h1, c1, d1, e1 := cacheCounts()
 	if c1 != c0+1 || h1 != h0 || d1 != d0 || e1 != e0 {
-		t.Errorf("first query: want one cold miss, got hits+%d cold+%d doc+%d epoch+%d",
+		t.Errorf("first view: want one cold miss, got hits+%d cold+%d doc+%d epoch+%d",
 			h1-h0, c1-c0, d1-d0, e1-e0)
 	}
 
 	// Same session, nothing changed: pure hit.
-	if _, err := s.Query("//service"); err != nil {
+	if _, err := s.View(); err != nil {
 		t.Fatal(err)
 	}
 	h2, c2, d2, e2 := cacheCounts()
 	if h2 != h1+1 || c2 != c1 || d2 != d1 || e2 != e1 {
-		t.Errorf("repeat query: want one hit, got hits+%d cold+%d doc+%d epoch+%d",
+		t.Errorf("repeat view: want one hit, got hits+%d cold+%d doc+%d epoch+%d",
 			h2-h1, c2-c1, d2-d1, e2-e1)
 	}
 
@@ -55,13 +58,13 @@ func TestViewCacheCounters(t *testing.T) {
 	}
 	h3, _, d3, e3 := cacheCounts()
 	i3 := incApplied.Value()
-	if _, err := s.Query("//diagnosis"); err != nil {
+	if _, err := s.View(); err != nil {
 		t.Fatal(err)
 	}
 	h4, _, d4, e4 := cacheCounts()
 	i4 := incApplied.Value()
 	if i4 != i3+1 || d4 != d3 || h4 != h3 || e4 != e3 {
-		t.Errorf("query after write: want one incremental apply, got applied+%d hits+%d doc+%d epoch+%d",
+		t.Errorf("view after write: want one incremental apply, got applied+%d hits+%d doc+%d epoch+%d",
 			i4-i3, h4-h3, d4-d3, e4-e3)
 	}
 
@@ -70,12 +73,12 @@ func TestViewCacheCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	h5, _, d5, e5 := cacheCounts()
-	if _, err := s.Query("//diagnosis"); err != nil {
+	if _, err := s.View(); err != nil {
 		t.Fatal(err)
 	}
 	h6, _, d6, e6 := cacheCounts()
 	if e6 != e5+1 || h6 != h5 || d6 != d5 {
-		t.Errorf("query after grant: want one policy_epoch miss, got hits+%d doc+%d epoch+%d",
+		t.Errorf("view after grant: want one policy_epoch miss, got hits+%d doc+%d epoch+%d",
 			h6-h5, d6-d5, e6-e5)
 	}
 }

@@ -1,0 +1,28 @@
+package policyanalysis
+
+import "securexml/internal/xpath"
+
+// MatchableWord reports whether some root-to-node word over the patterns'
+// joint alphabet reaches a configuration satisfying goal, where match[i]
+// says whether pats[i] accepts the word. It is the product subset search
+// the analyzer uses internally (searchWord), exported for the static query
+// rewriter (internal/rewrite), which decides answer emptiness and
+// profile transparency with goals the analyzer's own checks don't need.
+//
+// Soundness is the caller's burden, exactly as for contains/overlapAll: a
+// pattern with Exact=false accepts a superset of what its expression can
+// select, so "no word with match[i]" proves real emptiness, while "every
+// word has match[i]" proves nothing unless pats[i].Exact holds.
+func MatchableWord(pats []*xpath.Pattern, goal func(match []bool) bool) bool {
+	nfas := make([]*nfa, len(pats))
+	for i, p := range pats {
+		nfas[i] = nfaOf(p)
+	}
+	return searchWord(nfas, alphabetFor(pats), goal)
+}
+
+// RootOnlyPattern returns the exact pattern matching only the document
+// node (the empty word). Rewriting uses it to exempt the root from
+// coverage goals: axiom 15 makes the document node visible to everyone,
+// so no policy rule needs to address it.
+func RootOnlyPattern() *xpath.Pattern { return rootPattern() }

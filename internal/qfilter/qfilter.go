@@ -15,6 +15,15 @@
 // filtered path wins for one-shot queries on large documents (no O(n)
 // materialization), while the view path amortizes over many queries per
 // policy epoch — which is why internal/core materializes and caches.
+//
+// internal/rewrite is the static refinement of this package: where qfilter
+// computes the full axiom-14 permission mask (one policy evaluation per
+// document version) and then filters, rewrite re-derives the same
+// per-node decision during evaluation from chain-only rules, holding no
+// per-document state at all. The session ladder (core.Session.QueryTiered)
+// tries rewrite first and lands here when the profile or query leaves the
+// chain-only fragment; both rungs are pinned answer-equivalent to the view
+// by this package's property tests and internal/rewrite's oracle.
 package qfilter
 
 import (

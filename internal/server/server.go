@@ -278,12 +278,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, session *co
 		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
 		return
 	}
-	results, err := session.QueryCtx(r.Context(), expr)
+	results, tier, err := session.QueryTieredCtx(r.Context(), expr)
 	if err != nil {
 		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Query-Tier", tier.String())
 	for _, res := range results {
 		fmt.Fprintf(w, "%s\t%s\t%s\n", res.Path, res.Kind, strings.ReplaceAll(res.Value, "\n", " "))
 	}
@@ -295,12 +296,13 @@ func (s *Server) handleValue(w http.ResponseWriter, r *http.Request, session *co
 		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
 		return
 	}
-	v, err := session.QueryValueCtx(r.Context(), expr)
+	v, tier, err := session.QueryValueTieredCtx(r.Context(), expr)
 	if err != nil {
 		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Query-Tier", tier.String())
 	fmt.Fprintln(w, v.Str())
 }
 

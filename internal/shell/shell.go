@@ -224,24 +224,24 @@ func (sh *Shell) sessionCommand(cmd, rest string) error {
 		if rest == "" {
 			return fmt.Errorf("usage: query <xpath>")
 		}
-		results, err := s.Query(rest)
+		results, tier, err := s.QueryTiered(rest)
 		if err != nil {
 			return err
 		}
 		for _, r := range results {
 			sh.printf("%-40s %-9s %s\n", r.Path, r.Kind, r.Value)
 		}
-		sh.printf("(%d nodes)\n", len(results))
+		sh.printf("(%d nodes) [%s]\n", len(results), tier)
 		return nil
 	case "value":
 		if rest == "" {
 			return fmt.Errorf("usage: value <expression>")
 		}
-		v, err := s.QueryValue(rest)
+		v, tier, err := s.QueryValueTiered(rest)
 		if err != nil {
 			return err
 		}
-		sh.printf("%s (%s)\n", v.Str(), v.TypeName())
+		sh.printf("%s (%s) [%s]\n", v.Str(), v.TypeName(), tier)
 		return nil
 	case "explain":
 		if rest == "" {

@@ -240,6 +240,42 @@ func TestRepoSelfScan(t *testing.T) {
 	}
 }
 
+// TestTrustedPackageClassification pins the viewbypass trust boundary:
+// every enforcement-core package — including internal/rewrite, whose
+// static-rewriting tier reads raw source documents and re-imposes the
+// labels itself — holds the raw-node license, while the user-facing
+// packages and everything outside the module do not.
+func TestTrustedPackageClassification(t *testing.T) {
+	a := &analysis{prog: &Program{ModulePath: "securexml"}}
+	trusted := []string{
+		"securexml/internal/xmltree",
+		"securexml/internal/xpath",
+		"securexml/internal/view",
+		"securexml/internal/policy",
+		"securexml/internal/qfilter",
+		"securexml/internal/rewrite",
+		"securexml/internal/core",
+	}
+	for _, path := range trusted {
+		if !a.trustedPkg(path) {
+			t.Errorf("trustedPkg(%q) = false, want true", path)
+		}
+	}
+	untrusted := []string{
+		"securexml/internal/shell",
+		"securexml/internal/server",
+		"securexml/internal/shell/subpkg",
+		"securexml/cmd/xmlsec-bench",
+		"fmt",
+		"vettest/viewbypass/bad",
+	}
+	for _, path := range untrusted {
+		if a.trustedPkg(path) {
+			t.Errorf("trustedPkg(%q) = true, want false", path)
+		}
+	}
+}
+
 // TestBaselineValidation proves malformed baselines are rejected.
 func TestBaselineValidation(t *testing.T) {
 	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err != nil {

@@ -1,6 +1,10 @@
 package xpath
 
-import "securexml/internal/xmltree"
+import (
+	"strings"
+
+	"securexml/internal/xmltree"
+)
 
 // Security is an optional evaluation-time filter implementing the
 // query-filtering enforcement sketched in the paper's conclusion (§5,
@@ -110,3 +114,35 @@ func (s *Security) EffectiveLabel(n *xmltree.Node) string { return s.label(n) }
 // StringValue returns the XPath string-value of n under the filter
 // (nil-safe): only visible text contributes, with effective labels.
 func (s *Security) StringValue(n *xmltree.Node) string { return s.stringValue(n) }
+
+// Path renders n's path as the user's materialized view would show it:
+// xmltree.Node.Path with every element and attribute label replaced by its
+// effective label (so position-only ancestors read RESTRICTED). Only
+// meaningful for nodes whose ancestors are all visible — which holds for
+// every node a filtered evaluation can return, since the evaluator never
+// descends below an invisible node. Nil-safe: without a filter it equals
+// n.Path().
+func (s *Security) Path(n *xmltree.Node) string {
+	if n.Kind() == xmltree.KindDocument {
+		return "/"
+	}
+	var parts []string
+	for m := n; m != nil && m.Kind() != xmltree.KindDocument; m = m.Parent() {
+		switch m.Kind() {
+		case xmltree.KindText:
+			parts = append(parts, "text()")
+		case xmltree.KindComment:
+			parts = append(parts, "comment()")
+		case xmltree.KindAttribute:
+			parts = append(parts, "@"+s.label(m))
+		default:
+			parts = append(parts, s.label(m))
+		}
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
