@@ -56,6 +56,8 @@ bench-smoke:
 	$(GO) run ./cmd/xmlsec-bench -validate-b12 BENCH_b12_quick.json
 	$(GO) run ./cmd/xmlsec-bench -exp b14 -quick -b14-out BENCH_b14_quick.json
 	$(GO) run ./cmd/xmlsec-bench -validate-b14 BENCH_b14_quick.json
+	$(GO) run ./cmd/xmlsec-bench -exp b15 -quick -b15-out BENCH_b15_quick.json
+	$(GO) run ./cmd/xmlsec-bench -validate-b15 BENCH_b15_quick.json
 
 # Bounded fuzzing of the parser targets and the incremental-view
 # differential target from their seed corpora.

@@ -8,8 +8,13 @@
 // Writes (§4.4.2): every XUpdate operation selects its targets on the view
 // and checks per-node privileges (axioms 18–25).
 //
-// Database is safe for concurrent use: reads share an RWMutex read lock,
-// updates and administration take the write lock.
+// Database is safe for concurrent use, with lock-free snapshot reads:
+// the document, subject hierarchy and policy live in an immutable
+// generation published through an atomic pointer (see generation.go).
+// Readers pin one generation per request and never block on writers;
+// writers batch into a group-commit queue whose leader applies each round
+// against copy-on-write clones and publishes one new generation per round
+// (see commit.go).
 package core
 
 import (
@@ -19,6 +24,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securexml/internal/access"
@@ -83,6 +89,28 @@ const (
 	numTiers
 )
 
+// TierAuto is the sentinel for the normal ladder descent (no pinning).
+// The forced-tier entry points take it to mean "pick the cheapest tier
+// that can serve the query", i.e. the default behavior.
+const TierAuto Tier = -1
+
+// ParseTier parses a tier name as accepted by the server's -tier flag and
+// the shell's tier command: rewrite, qfilter, view, or auto.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "rewrite":
+		return TierRewrite, nil
+	case "qfilter":
+		return TierQfilter, nil
+	case "view":
+		return TierView, nil
+	case "auto", "":
+		return TierAuto, nil
+	default:
+		return TierAuto, fmt.Errorf("core: unknown tier %q (want rewrite, qfilter, view or auto)", s)
+	}
+}
+
 // String names the tier.
 func (t Tier) String() string { return t.MetricLabel() }
 
@@ -125,6 +153,12 @@ func sessionOp(op, outcome string) {
 var (
 	ErrUnknownUser = errors.New("core: unknown user")
 	ErrNotUser     = errors.New("core: sessions are for users, not roles")
+	// ErrTierUnavailable: a query was pinned to one ladder tier (A/B
+	// debugging via the server -tier flag or the shell tier command) and
+	// that tier cannot serve it — the rewrite fragment does not cover the
+	// user's rules, or a pinned qfilter value query produced a node-set
+	// (which only the view tier may hand out without leaking).
+	ErrTierUnavailable = errors.New("core: forced tier cannot serve this query")
 )
 
 // Option configures a Database.
@@ -158,35 +192,24 @@ type Database struct {
 	auditLimit int
 	journal    *journal.Writer
 
-	mu          sync.RWMutex
-	doc         *xmltree.Document
-	subjects    *subject.Hierarchy
-	policy      *policy.Policy
-	policyEpoch uint64
-	// docGen distinguishes document *replacements* (LoadXML) from
-	// mutations: a fresh document restarts its version counter, so the
-	// version alone cannot key session caches.
-	docGen uint64
-	// deltaLog is a bounded ring of recent update batches, consumed by
-	// session caches to patch views incrementally instead of
-	// re-materializing (see internal/view/incremental.go).
-	deltaLog []deltaBatch
+	// current is the published generation (see generation.go). One
+	// atomic load pins a consistent (document, subjects, policy)
+	// snapshot for a whole request; the commit leader is the only
+	// storer.
+	current atomic.Pointer[generation]
 
-	// The audit ring has its own lock so read-path operations (which hold
-	// db.mu only for reading) can still append entries.
+	// Group-commit state: writers enqueue under commitMu; the first
+	// arriver becomes the leader and drains the queue in rounds with the
+	// lock dropped while applying (see commit.go).
+	commitMu sync.Mutex
+	queue    []*commitReq
+	leader   bool
+
+	// The audit ring has its own lock so lock-free read paths can still
+	// append entries.
 	auditMu  sync.Mutex
 	audit    []AuditEntry
 	auditSeq uint64
-
-	// ruleCache shares the $USER-independent rule node-sets of the current
-	// (docGen, doc version, policyEpoch) across every session's cold
-	// evaluation. It has its own lock because currentView runs under
-	// db.mu.RLock and therefore cannot upgrade to swap the cache.
-	ruleCacheMu    sync.Mutex
-	ruleCache      *policy.RuleCache
-	ruleCacheGen   uint64
-	ruleCacheVer   uint64
-	ruleCacheEpoch uint64
 
 	// sessions holds the per-user shared sessions handed out by
 	// SharedSession, so server requests and warm-up hit one view cache per
@@ -197,101 +220,40 @@ type Database struct {
 	// rewriteEng is the static query-rewriting engine for policy epoch
 	// rewriteEpoch (see internal/rewrite). It is keyed by the epoch alone —
 	// rewritten plans depend only on the policy and hierarchy, so they
-	// survive arbitrary document mutations. Own lock for the same reason
-	// as ruleCache: the query path holds db.mu only for reading.
+	// survive arbitrary document mutations. Own lock because the query
+	// path holds no database-wide lock at all.
 	rewriteMu    sync.Mutex
 	rewriteEng   *rewrite.Engine
 	rewriteEpoch uint64
 }
 
-// rewriteEngine returns the rewrite engine for the current policy epoch,
-// replacing it when the policy or the subject hierarchy moved (both bump
-// policyEpoch). Callers hold db.mu (read or write), which pins the epoch
-// and excludes concurrent mutation of the policy and hierarchy the engine
-// reads.
-func (db *Database) rewriteEngine() *rewrite.Engine {
-	epoch := db.policyEpoch
+// rewriteEngineFor returns the rewrite engine for the generation's policy
+// epoch, replacing the cached one when the policy or the subject
+// hierarchy moved (both bump the epoch). The engine reads only the
+// generation's immutable policy and hierarchy, so no further
+// synchronization is needed once built. Readers pinned to an older
+// generation than the cached epoch rebuild transiently; epoch moves are
+// rare admin events, so the thrash window is negligible.
+func (db *Database) rewriteEngineFor(g *generation) *rewrite.Engine {
 	db.rewriteMu.Lock()
 	defer db.rewriteMu.Unlock()
-	if db.rewriteEng == nil || db.rewriteEpoch != epoch {
-		db.rewriteEng = rewrite.NewEngine(db.policy, db.subjects)
-		db.rewriteEpoch = epoch
+	if db.rewriteEng == nil || db.rewriteEpoch != g.epoch {
+		db.rewriteEng = rewrite.NewEngine(g.policy, g.subjects)
+		db.rewriteEpoch = g.epoch
 	}
 	return db.rewriteEng
-}
-
-// sharedRuleCache returns the cross-user rule cache for the database's
-// current document and policy, replacing it when either moved so stale
-// node-ID sets are never merged into a fresh snapshot's permissions.
-// Callers hold db.mu (read or write), which pins gen/version/epoch for the
-// duration of the evaluation that uses the cache.
-func (db *Database) sharedRuleCache() *policy.RuleCache {
-	gen, ver, epoch := db.docGen, db.doc.Version(), db.policyEpoch
-	db.ruleCacheMu.Lock()
-	defer db.ruleCacheMu.Unlock()
-	if db.ruleCache == nil || db.ruleCacheGen != gen || db.ruleCacheVer != ver || db.ruleCacheEpoch != epoch {
-		db.ruleCache = policy.NewRuleCache()
-		db.ruleCacheGen, db.ruleCacheVer, db.ruleCacheEpoch = gen, ver, epoch
-	}
-	return db.ruleCache
-}
-
-// deltaBatch records the structural changes of one executed operation,
-// spanning document versions (FromVer, ToVer].
-type deltaBatch struct {
-	fromVer, toVer uint64
-	deltas         []xupdate.Delta
-}
-
-// deltaLogCap bounds the delta log; sessions further behind than the
-// oldest retained batch rebuild from scratch.
-const deltaLogCap = 256
-
-// pushDeltaBatch appends one update's deltas. Callers hold db.mu for
-// writing.
-func (db *Database) pushDeltaBatch(fromVer, toVer uint64, deltas []xupdate.Delta) {
-	db.deltaLog = append(db.deltaLog, deltaBatch{fromVer: fromVer, toVer: toVer, deltas: deltas})
-	if len(db.deltaLog) > deltaLogCap {
-		db.deltaLog = db.deltaLog[len(db.deltaLog)-deltaLogCap:]
-	}
-}
-
-// deltaChain collects the contiguous delta batches leading from document
-// version from to version to. It returns ok=false when the log has a gap —
-// the oldest batches were trimmed, or an update mutated the document
-// without recording a batch (e.g. an executor error after partial
-// application). Callers hold db.mu (read or write).
-func (db *Database) deltaChain(from, to uint64) ([][]xupdate.Delta, bool) {
-	cur := from
-	var out [][]xupdate.Delta
-	for _, b := range db.deltaLog {
-		if b.toVer <= cur {
-			continue
-		}
-		if b.fromVer != cur {
-			return nil, false
-		}
-		out = append(out, b.deltas)
-		cur = b.toVer
-	}
-	if cur != to {
-		return nil, false
-	}
-	return out, true
 }
 
 // New creates an empty database: no document, no subjects, no rules.
 func New(opts ...Option) *Database {
 	db := &Database{
 		scheme:     labeling.NewFracPath(),
-		subjects:   subject.NewHierarchy(),
-		policy:     policy.New(),
 		auditLimit: 4096,
 	}
 	for _, o := range opts {
 		o(db)
 	}
-	db.doc = xmltree.New(db.scheme)
+	db.install(xmltree.New(db.scheme), subject.NewHierarchy(), policy.New())
 	return db
 }
 
@@ -301,12 +263,13 @@ func (db *Database) LoadXML(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.doc = doc
-	db.docGen++
-	db.deltaLog = nil
-	db.record("system", "load", fmt.Sprintf("%d nodes", doc.Len()), "ok")
+	db.submit(func(c *commitCtx) {
+		c.doc = doc
+		c.docGen++
+		c.docReset = true
+		c.batches = nil
+		db.record("system", "load", fmt.Sprintf("%d nodes", doc.Len()), "ok")
+	})
 	return nil
 }
 
@@ -315,18 +278,19 @@ func (db *Database) LoadXMLString(s string) error { return db.LoadXML(strings.Ne
 
 // Save writes a durable snapshot of the database — the document with its
 // persistent identifiers, the subject hierarchy and the policy — to w.
-// The audit log is not part of the snapshot (export it via Audit).
+// The audit log is not part of the snapshot (export it via Audit). The
+// snapshot is one pinned generation: a commit racing with Save lands in
+// the next generation and is simply not part of this snapshot.
 func (db *Database) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rules := make([]policy.Rule, 0, db.policy.Len())
-	for _, r := range db.policy.Rules() {
+	g := db.gen()
+	rules := make([]policy.Rule, 0, g.policy.Len())
+	for _, r := range g.policy.Rules() {
 		rules = append(rules, *r)
 	}
 	return storage.Write(w, &storage.Snapshot{
 		SchemeName: db.scheme.Name(),
-		Doc:        db.doc,
-		Subjects:   db.subjects,
+		Doc:        g.doc,
+		Subjects:   g.subjects,
 		Rules:      rules,
 	})
 }
@@ -345,91 +309,100 @@ func Open(r io.Reader, opts ...Option) (*Database, error) {
 		return nil, err
 	}
 	db := New(append([]Option{WithScheme(scheme)}, opts...)...)
-	// The database cannot have escaped yet, but restoring under the lock
-	// keeps the guarded-field discipline checkable rather than exceptional.
-	db.mu.Lock()
-	db.doc = snap.Doc
-	db.subjects = snap.Subjects
+	// Assemble the restored components privately, then publish them as one
+	// generation — the database has not escaped yet, so nothing observes
+	// the intermediate state.
+	pol := policy.New()
 	for _, rule := range snap.Rules {
-		if err := db.policy.Add(db.subjects, rule); err != nil {
-			db.mu.Unlock()
+		if err := pol.Add(snap.Subjects, rule); err != nil {
 			return nil, fmt.Errorf("core: restoring rule %s: %w", rule.String(), err)
 		}
 	}
-	detail := fmt.Sprintf("%d nodes, %d rules", db.doc.Len(), db.policy.Len())
-	db.mu.Unlock()
-	db.record("system", "open", detail, "ok")
+	db.install(snap.Doc, snap.Subjects, pol)
+	db.record("system", "open", fmt.Sprintf("%d nodes, %d rules", snap.Doc.Len(), pol.Len()), "ok")
 	return db, nil
 }
 
 // --- administration -----------------------------------------------------------
 
-// AddRole declares a role under optional parent roles.
+// AddRole declares a role under optional parent roles. Like every admin
+// operation it rides the group-commit queue: a successful change clones
+// the hierarchy, bumps the policy epoch and publishes a new generation
+// (sharing the document pointer — admin-only rounds copy no tree).
 func (db *Database) AddRole(name string, parents ...string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.subjects.AddRole(name, parents...); err != nil {
-		return err
-	}
-	db.policyEpoch++
-	db.record("system", "add-role", name, "ok")
-	return nil
+	var err error
+	db.submit(func(c *commitCtx) {
+		if err = c.mutableSubjects().AddRole(name, parents...); err != nil {
+			return
+		}
+		c.adminChanged = true
+		c.epoch++
+		db.record("system", "add-role", name, "ok")
+	})
+	return err
 }
 
 // AddUser declares a user belonging to the given roles.
 func (db *Database) AddUser(name string, roles ...string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.subjects.AddUser(name, roles...); err != nil {
-		return err
-	}
-	db.policyEpoch++
-	db.record("system", "add-user", name, "ok")
-	return nil
+	var err error
+	db.submit(func(c *commitCtx) {
+		if err = c.mutableSubjects().AddUser(name, roles...); err != nil {
+			return
+		}
+		c.adminChanged = true
+		c.epoch++
+		db.record("system", "add-user", name, "ok")
+	})
+	return err
 }
 
 // Grant appends an accept rule (latest priority, §4.3 discipline).
 func (db *Database) Grant(priv policy.Privilege, path, subj string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.policy.Grant(db.subjects, priv, path, subj); err != nil {
-		return err
-	}
-	db.policyEpoch++
-	db.record("system", "grant", fmt.Sprintf("%s on %s to %s", priv, path, subj), "ok")
-	return nil
+	var err error
+	db.submit(func(c *commitCtx) {
+		if err = c.mutablePolicy().Grant(c.curSubjects(), priv, path, subj); err != nil {
+			return
+		}
+		c.adminChanged = true
+		c.epoch++
+		db.record("system", "grant", fmt.Sprintf("%s on %s to %s", priv, path, subj), "ok")
+	})
+	return err
 }
 
 // Revoke appends a deny rule (latest priority).
 func (db *Database) Revoke(priv policy.Privilege, path, subj string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.policy.Revoke(db.subjects, priv, path, subj); err != nil {
-		return err
-	}
-	db.policyEpoch++
-	db.record("system", "revoke", fmt.Sprintf("%s on %s from %s", priv, path, subj), "ok")
-	return nil
+	var err error
+	db.submit(func(c *commitCtx) {
+		if err = c.mutablePolicy().Revoke(c.curSubjects(), priv, path, subj); err != nil {
+			return
+		}
+		c.adminChanged = true
+		c.epoch++
+		db.record("system", "revoke", fmt.Sprintf("%s on %s from %s", priv, path, subj), "ok")
+	})
+	return err
 }
 
 // AddRule inserts a rule with an explicit priority.
 func (db *Database) AddRule(r policy.Rule) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.policy.Add(db.subjects, r); err != nil {
-		return err
-	}
-	db.policyEpoch++
-	db.record("system", "add-rule", r.String(), "ok")
-	return nil
+	var err error
+	db.submit(func(c *commitCtx) {
+		if err = c.mutablePolicy().Add(c.curSubjects(), r); err != nil {
+			return
+		}
+		c.adminChanged = true
+		c.epoch++
+		db.record("system", "add-rule", r.String(), "ok")
+	})
+	return err
 }
 
 // Rules returns a snapshot of the policy rules.
 func (db *Database) Rules() []policy.Rule {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]policy.Rule, 0, db.policy.Len())
-	for _, r := range db.policy.Rules() {
+	g := db.gen()
+	out := make([]policy.Rule, 0, g.policy.Len())
+	for _, r := range g.policy.Rules() {
 		out = append(out, *r)
 	}
 	return out
@@ -437,32 +410,25 @@ func (db *Database) Rules() []policy.Rule {
 
 // Users returns all user names.
 func (db *Database) Users() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.subjects.Users()
+	return db.gen().subjects.Users()
 }
 
 // Roles returns all role names.
 func (db *Database) Roles() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.subjects.Roles()
+	return db.gen().subjects.Roles()
 }
 
 // Hierarchy returns an independent copy of the subject hierarchy.
 func (db *Database) Hierarchy() *subject.Hierarchy {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.subjects.Clone()
+	return db.gen().subjects.Clone()
 }
 
 // AnalyzePolicy runs the static policy analyzer (internal/policyanalysis)
 // over the current policy and subject hierarchy. The analysis needs no
 // document, so it is safe at any point of the administration workflow.
 func (db *Database) AnalyzePolicy() *policyanalysis.Report {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return policyanalysis.Analyze(db.subjects, db.policy)
+	g := db.gen()
+	return policyanalysis.Analyze(g.subjects, g.policy)
 }
 
 // PlanRepairs runs the analyzer with repair synthesis over the current
@@ -475,52 +441,51 @@ func (db *Database) PlanRepairs() *policyanalysis.RepairReport {
 
 // PlanRepairsCtx is PlanRepairs with request-scoped tracing.
 func (db *Database) PlanRepairsCtx(ctx context.Context) *policyanalysis.RepairReport {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rules := make([]policy.Rule, 0, db.policy.Len())
-	for _, r := range db.policy.Rules() {
+	g := db.gen()
+	rules := make([]policy.Rule, 0, g.policy.Len())
+	for _, r := range g.policy.Rules() {
 		rules = append(rules, *r)
 	}
-	return policyanalysis.PlanRepairsCtx(ctx, db.doc, db.subjects, rules)
+	return policyanalysis.PlanRepairsCtx(ctx, g.doc, g.subjects, rules)
 }
 
 // SourceXML serializes the raw source document — administrator use only;
 // regular access goes through Session views.
 func (db *Database) SourceXML() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.doc.XML()
+	return db.gen().doc.XML()
 }
 
 // SourceSketch renders the raw source document's structure sketch (node
 // identifiers and labels) — administrator use only, like SourceXML.
 func (db *Database) SourceSketch() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.doc.Sketch()
+	return db.gen().doc.Sketch()
 }
 
 // Stats summarizes the database state.
 type Stats struct {
-	Nodes       int
-	Rules       int
-	Users       int
-	Roles       int
-	DocVersion  uint64
+	Nodes      int
+	Rules      int
+	Users      int
+	Roles      int
+	DocVersion uint64
+	// Generation is the sequence number of the published COW generation;
+	// it advances once per group-commit round (which may coalesce several
+	// writes), while DocVersion advances per node mutation.
+	Generation  uint64
 	PolicyEpoch uint64
 }
 
 // Stats returns current counters.
 func (db *Database) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	g := db.gen()
 	return Stats{
-		Nodes:       db.doc.Len(),
-		Rules:       db.policy.Len(),
-		Users:       len(db.subjects.Users()),
-		Roles:       len(db.subjects.Roles()),
-		DocVersion:  db.doc.Version(),
-		PolicyEpoch: db.policyEpoch,
+		Nodes:       g.doc.Len(),
+		Rules:       g.policy.Len(),
+		Users:       len(g.subjects.Users()),
+		Roles:       len(g.subjects.Roles()),
+		DocVersion:  g.ver(),
+		Generation:  g.seq,
+		PolicyEpoch: g.epoch,
 	}
 }
 
@@ -542,10 +507,13 @@ type AuditEntry struct {
 }
 
 // record appends an audit entry without request correlation. It takes the
-// audit lock itself, so it is safe to call with db.mu held in either mode
-// (db.mu always orders before db.auditMu). Auditing is disabled with
-// limit 0.
+// audit lock itself, so it is safe from both the lock-free read paths and
+// the commit leader. Auditing is disabled with limit 0 — checked before
+// the lock, so a bench-configured silent database pays nothing here.
 func (db *Database) record(user, action, detail, outcome string) {
+	if db.auditLimit == 0 {
+		return
+	}
 	db.auditMu.Lock()
 	defer db.auditMu.Unlock()
 	db.recordFull(user, action, detail, outcome, "", 0)
@@ -570,8 +538,6 @@ func (db *Database) recordFull(user, action, detail, outcome, reqID string, d ti
 
 // Audit returns a snapshot of the audit log, oldest first.
 func (db *Database) Audit() []AuditEntry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	db.auditMu.Lock()
 	defer db.auditMu.Unlock()
 	return append([]AuditEntry(nil), db.audit...)
@@ -579,18 +545,27 @@ func (db *Database) Audit() []AuditEntry {
 
 // --- sessions -----------------------------------------------------------------
 
+// viewEntry is one published cell of a session's view cache: the
+// materialized (or incrementally patched) view, the axiom-14 permissions
+// it was derived from, and the snapshot coordinates they belong to. An
+// entry is immutable after publication — v.Doc is frozen and pm is never
+// mutated in place — so concurrent requests on one shared session can
+// read the same entry while another request swaps in a newer one.
+type viewEntry struct {
+	v     *view.View
+	pm    *policy.Perms
+	ver   uint64
+	epoch uint64
+	gen   uint64 // docGen of the generation the entry was built against
+}
+
 // Session is an authenticated connection for one user.
 type Session struct {
 	db   *Database
 	user string
 
-	mu          sync.Mutex
-	cached      *view.View
-	cachedPerms *policy.Perms
-	cachedVer   uint64
-	cachedEpoch uint64
-	cachedGen   uint64
-
+	mu    sync.Mutex
+	entry *viewEntry
 	// maint is the compiled incremental maintainer for (policy epoch
 	// maintEpoch); nil with maintReady=true means the policy is not
 	// chain-only for this user and every doc change must re-materialize.
@@ -601,9 +576,7 @@ type Session struct {
 
 // Session opens a session for a declared user. Roles cannot log in.
 func (db *Database) Session(user string) (*Session, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	kind, ok := db.subjects.KindOf(user)
+	kind, ok := db.gen().subjects.KindOf(user)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
 	}
@@ -625,8 +598,8 @@ func (db *Database) SharedSession(user string) (*Session, error) {
 		return s, nil
 	}
 	db.sessMu.Unlock()
-	// Validate outside sessMu: Session takes db.mu, and holding both here
-	// would order sessMu before db.mu on this path for no benefit.
+	// Validate outside sessMu: keeping user validation (a generation
+	// read) out of the lock's scope keeps sessMu a pure map guard.
 	s, err := db.Session(user)
 	if err != nil {
 		return nil, err
@@ -651,101 +624,110 @@ func (s *Session) vars() xpath.Vars {
 	return xpath.Vars{"USER": xpath.String(s.user)}
 }
 
-// currentView returns the session's view, rebuilding it only when the
-// document or the policy changed. A document change whose deltas are still
-// in the log is absorbed by patching the cached view in place (axioms
-// 15–17 re-run over the touched subtrees only); policy changes and
-// document replacements always re-materialize. Callers must hold db.mu
-// (read or write): patching happens under s.mu, and any later write that
-// could patch again is excluded by db.mu for as long as the caller reads
-// the returned view.
-func (s *Session) currentView(ctx context.Context) (*view.View, error) {
-	v, _, err := s.currentViewPerms(ctx)
+// currentView returns the session's view of the pinned generation g,
+// rebuilding it only when the document or the policy changed since the
+// cached entry. A document change whose deltas are still in the
+// generation's log is absorbed by patching a copy of the cached view
+// (axioms 15–17 re-run over the touched subtrees only); policy changes
+// and document replacements always re-materialize. The returned view is
+// immutable (frozen) and remains valid after newer generations are
+// published — callers need no lock.
+func (s *Session) currentView(ctx context.Context, g *generation) (*view.View, error) {
+	v, _, err := s.currentViewPerms(ctx, g)
 	return v, err
 }
 
 // currentViewPerms is currentView exposing the axiom-14 permissions the
 // view was derived from (the Explain layer re-reads the same cell the
-// production path served). Callers must hold db.mu, exactly like
-// currentView, and for the same reasons.
-func (s *Session) currentViewPerms(ctx context.Context) (*view.View, *policy.Perms, error) {
+// production path served).
+func (s *Session) currentViewPerms(ctx context.Context, g *generation) (*view.View, *policy.Perms, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ver, epoch, gen := s.db.doc.Version(), s.db.policyEpoch, s.db.docGen
-	if s.cached != nil && s.cachedGen == gen && s.cachedVer == ver && s.cachedEpoch == epoch {
+	ver, epoch, gen := g.ver(), g.epoch, g.docGen
+	e := s.entry
+	if e != nil && e.gen == gen && e.ver == ver && e.epoch == epoch {
 		cacheHits.Inc()
 		obs.AnnotateCtx(ctx, "view_source", "cache_hit")
-		return s.cached, s.cachedPerms, nil
+		return e.v, e.pm, nil
 	}
-	if s.cached != nil && s.cachedPerms != nil && s.cachedGen == gen && s.cachedEpoch == epoch &&
-		s.tryIncremental(ctx, ver) {
-		// Counted as xmlsec_view_incremental_applied_total by the view
-		// package — neither a plain hit nor a materializing miss.
-		obs.AnnotateCtx(ctx, "view_source", "incremental")
-		return s.cached, s.cachedPerms, nil
+	if e != nil && e.gen == gen && e.epoch == epoch && e.ver < ver {
+		if ne := s.tryIncremental(ctx, g, e); ne != nil {
+			// Counted as xmlsec_view_incremental_applied_total by the view
+			// package — neither a plain hit nor a materializing miss.
+			s.entry = ne
+			obs.AnnotateCtx(ctx, "view_source", "incremental")
+			return ne.v, ne.pm, nil
+		}
+		// A hard patch error poisoned the entry (tryIncremental set
+		// s.entry = nil) so the rebuild below starts cold.
+		e = s.entry
 	}
 	switch {
-	case s.cached == nil:
+	case e == nil:
 		cacheMissCold.Inc()
 		obs.AnnotateCtx(ctx, "view_source", "materialize_cold")
-	case s.cachedGen != gen || s.cachedVer != ver:
+	case e.gen != gen || e.ver != ver:
 		cacheMissDoc.Inc()
 		obs.AnnotateCtx(ctx, "view_source", "materialize_doc")
 	default:
 		cacheMissEpoch.Inc()
 		obs.AnnotateCtx(ctx, "view_source", "materialize_epoch")
 	}
-	pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+	pm, err := g.policy.EvaluateSharedCtx(ctx, g.doc, g.subjects, s.user, g.ruleCache())
 	if err != nil {
 		return nil, nil, err
 	}
-	s.cached = view.MaterializeCtx(ctx, s.db.doc, pm)
-	s.cachedPerms = pm
-	s.cachedVer = ver
-	s.cachedEpoch = epoch
-	s.cachedGen = gen
-	return s.cached, s.cachedPerms, nil
+	v := view.MaterializeCtx(ctx, g.doc, pm)
+	v.Doc.Freeze()
+	s.entry = &viewEntry{v: v, pm: pm, ver: ver, epoch: epoch, gen: gen}
+	return v, pm, nil
 }
 
-// tryIncremental patches the cached view from s.cachedVer up to ver using
-// the database delta log. It reports whether the cache is now current; on
-// false the caller re-materializes (and the reason was counted). Callers
-// hold s.mu and db.mu.
-func (s *Session) tryIncremental(ctx context.Context, ver uint64) bool {
-	if !s.maintReady || s.maintEpoch != s.cachedEpoch {
-		s.maint, _ = view.NewMaintainer(s.db.policy, s.db.subjects, s.user)
-		s.maintEpoch = s.cachedEpoch
+// tryIncremental builds a fresh cache entry by patching a copy of e from
+// e.ver up to the generation's version using the generation's delta log.
+// It returns nil when patching is not possible (the caller
+// re-materializes; the reason was counted) — and poisons s.entry on a
+// hard patch error. The published entry e itself is never mutated: the
+// maintainer runs on a Snapshot clone of the view and a Clone of the
+// permissions, so readers concurrently serving from e are undisturbed.
+// Callers hold s.mu.
+func (s *Session) tryIncremental(ctx context.Context, g *generation, e *viewEntry) *viewEntry {
+	if !s.maintReady || s.maintEpoch != e.epoch {
+		s.maint, _ = view.NewMaintainer(g.policy, g.subjects, s.user)
+		s.maintEpoch = e.epoch
 		s.maintReady = true
 	}
 	if s.maint == nil {
 		incFallbackIneligible.Inc()
 		obs.AnnotateCtx(ctx, "incremental_fallback", "ineligible")
-		return false
+		return nil
 	}
-	chain, ok := s.db.deltaChain(s.cachedVer, ver)
+	chain, ok := g.deltaChain(e.ver)
 	if !ok {
 		incFallbackGap.Inc()
 		obs.AnnotateCtx(ctx, "incremental_fallback", "gap")
-		return false
+		return nil
 	}
+	v := e.v.Snapshot()
+	pm := e.pm.Clone()
 	for _, deltas := range chain {
-		if err := s.maint.ApplyCtx(ctx, s.cached, s.db.doc, s.cachedPerms, deltas); err != nil {
-			// The view may be half-patched: poison it so the rebuild below
-			// starts cold instead of serving damaged state.
-			s.cached = nil
-			s.cachedPerms = nil
+		if err := s.maint.ApplyCtx(ctx, v, g.doc, pm, deltas); err != nil {
+			// The entry's coordinates no longer have a usable continuation;
+			// poison the cache so the rebuild starts cold instead of
+			// retrying a failing patch on every request.
+			s.entry = nil
 			incFallbackError.Inc()
 			obs.AnnotateCtx(ctx, "incremental_fallback", "error")
-			return false
+			return nil
 		}
 	}
-	s.cachedVer = ver
-	return true
+	v.Doc.Freeze()
+	return &viewEntry{v: v, pm: pm, ver: g.ver(), epoch: e.epoch, gen: e.gen}
 }
 
 // View returns an independent snapshot of the user's current view. The
-// session cache patches its view in place on document updates, so the
-// cached instance cannot be handed out of the lock's scope.
+// cached view instance is frozen and shared across concurrent requests,
+// so callers get a mutable Snapshot copy.
 func (s *Session) View() (*view.View, error) {
 	return s.ViewCtx(context.Background())
 }
@@ -756,9 +738,7 @@ func (s *Session) View() (*view.View, error) {
 // log).
 func (s *Session) ViewCtx(ctx context.Context) (*view.View, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_view", viewStage)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	v, err := s.currentView(ctx)
+	v, err := s.currentView(ctx, s.db.gen())
 	if err != nil {
 		sessionOp("view", "error")
 		s.db.recordCtx(ctx, "view", s.user, "", "error: "+err.Error(), sp.End())
@@ -774,14 +754,11 @@ func (s *Session) ViewXML() (string, error) {
 	return s.ViewXMLCtx(context.Background())
 }
 
-// ViewXMLCtx is ViewXML with a request context. Serialization happens
-// under the database read lock, against the shared cached view — no
-// snapshot copy.
+// ViewXMLCtx is ViewXML with a request context. Serialization reads the
+// shared frozen view directly — no snapshot copy.
 func (s *Session) ViewXMLCtx(ctx context.Context) (string, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_view", viewStage)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	v, err := s.currentView(ctx)
+	v, err := s.currentView(ctx, s.db.gen())
 	if err != nil {
 		sessionOp("view", "error")
 		s.db.recordCtx(ctx, "view", s.user, "", "error: "+err.Error(), sp.End())
@@ -834,10 +811,22 @@ func (s *Session) QueryTiered(path string) ([]Result, Tier, error) {
 //     source under the user's axiom-14 mask (skipped when the session's
 //     cached view is already current — then the view is free).
 //  3. Otherwise the materialized view serves, warming the session cache.
+//
+// The whole ladder runs against one pinned generation: no lock is taken
+// and concurrent commits cannot tear the snapshot.
 func (s *Session) QueryTieredCtx(ctx context.Context, path string) ([]Result, Tier, error) {
+	return s.QueryTierCtx(ctx, path, TierAuto)
+}
+
+// QueryTierCtx is QueryTieredCtx with the ladder pinned to one tier
+// (TierAuto descends normally). Pinning exists for A/B debugging — the
+// server's -tier flag and the shell's tier command route here. A pinned
+// tier that cannot serve the query fails with ErrTierUnavailable instead
+// of falling through, so a pinned comparison never silently measures a
+// different tier.
+func (s *Session) QueryTierCtx(ctx context.Context, path string, forced Tier) ([]Result, Tier, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_query", queryStage)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
+	g := s.db.gen()
 	fail := func(tier Tier, err error) ([]Result, Tier, error) {
 		sessionOp("query", "error")
 		s.db.recordCtx(ctx, "query", s.user, path, "error: "+err.Error(), sp.End())
@@ -852,41 +841,57 @@ func (s *Session) QueryTieredCtx(ctx context.Context, path string) ([]Result, Ti
 	}
 
 	// Tier 1: static rewrite.
-	if pg, _ := s.db.rewriteEngine().ProgramFor(s.user); pg != nil {
-		pl, err := pg.PlanFor(path)
-		if err != nil {
-			return fail(TierRewrite, err) // compile errors are tier-independent
-		}
-		switch pl.Mode {
-		case rewrite.PlanEmpty:
-			return done(TierRewrite, []Result{})
-		case rewrite.PlanTransparent:
-			_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
-			ns, err := pl.Select(s.db.doc.Root(), s.vars(), nil)
-			xe.AnnotateInt("selected", int64(len(ns)))
-			xe.End()
-			if err == nil {
-				return done(TierRewrite, filteredResults(ns, nil))
+	if forced == TierAuto || forced == TierRewrite {
+		if pg, _ := s.db.rewriteEngineFor(g).ProgramFor(s.user); pg != nil {
+			pl, err := pg.PlanFor(path)
+			if err != nil {
+				return fail(TierRewrite, err) // compile errors are tier-independent
 			}
-			rewrite.CountFallback(rewrite.ReasonEvalError)
-		default:
-			sec, st := pg.Security(s.vars())
-			_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
-			ns, err := pl.Select(s.db.doc.Root(), s.vars(), sec)
-			xe.AnnotateInt("selected", int64(len(ns)))
-			xe.End()
-			if err == nil && st.Err() == nil {
-				return done(TierRewrite, filteredResults(ns, sec))
+			switch pl.Mode {
+			case rewrite.PlanEmpty:
+				return done(TierRewrite, []Result{})
+			case rewrite.PlanTransparent:
+				_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+				ns, err := pl.Select(g.doc.Root(), s.vars(), nil)
+				xe.AnnotateInt("selected", int64(len(ns)))
+				xe.End()
+				if err == nil {
+					return done(TierRewrite, filteredResults(ns, nil))
+				}
+				rewrite.CountFallback(rewrite.ReasonEvalError)
+				if forced == TierRewrite {
+					return fail(TierRewrite, err)
+				}
+			default:
+				sec, st := pg.SecurityFor(s.user, s.vars(), g.doc)
+				_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+				ns, err := pl.Select(g.doc.Root(), s.vars(), sec)
+				xe.AnnotateInt("selected", int64(len(ns)))
+				xe.End()
+				if err == nil && st.Err() == nil {
+					return done(TierRewrite, filteredResults(ns, sec))
+				}
+				rewrite.CountFallback(rewrite.ReasonEvalError)
+				if forced == TierRewrite {
+					if err == nil {
+						err = st.Err()
+					}
+					return fail(TierRewrite, err)
+				}
 			}
-			rewrite.CountFallback(rewrite.ReasonEvalError)
+		} else {
+			rewrite.CountFallback(rewrite.ReasonRuleFragment)
+			if forced == TierRewrite {
+				return fail(TierRewrite, fmt.Errorf("%w: policy outside the rewrite fragment for %q", ErrTierUnavailable, s.user))
+			}
 		}
-	} else {
-		rewrite.CountFallback(rewrite.ReasonRuleFragment)
 	}
 
-	// Tier 2: qfilter, unless the cached view is already current.
-	if !s.viewFresh() {
-		pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+	// Tier 2: qfilter, unless the cached view is already current (a
+	// pinned qfilter skips that shortcut — the point of pinning is to
+	// measure this tier).
+	if forced == TierQfilter || (forced == TierAuto && !s.viewFresh(g)) {
+		pm, err := g.policy.EvaluateSharedCtx(ctx, g.doc, g.subjects, s.user, g.ruleCache())
 		if err != nil {
 			return fail(TierQfilter, err)
 		}
@@ -896,7 +901,7 @@ func (s *Session) QueryTieredCtx(ctx context.Context, path string) ([]Result, Ti
 		}
 		sec := qfilter.ForPerms(pm)
 		_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
-		ns, err := c.SelectFiltered(s.db.doc.Root(), s.vars(), sec)
+		ns, err := c.SelectFiltered(g.doc.Root(), s.vars(), sec)
 		xe.AnnotateInt("selected", int64(len(ns)))
 		xe.End()
 		if err != nil {
@@ -906,7 +911,7 @@ func (s *Session) QueryTieredCtx(ctx context.Context, path string) ([]Result, Ti
 	}
 
 	// Tier 3: the materialized view.
-	v, err := s.currentView(ctx)
+	v, err := s.currentView(ctx, g)
 	if err != nil {
 		return fail(TierView, err)
 	}
@@ -940,14 +945,14 @@ func filteredResults(ns xpath.NodeSet, sec *xpath.Security) []Result {
 	return out
 }
 
-// viewFresh reports whether the session's cached view matches the current
-// (docGen, version, epoch) exactly — without materializing or patching
-// anything. Callers hold db.mu.
-func (s *Session) viewFresh() bool {
+// viewFresh reports whether the session's cached view matches the pinned
+// generation's (docGen, version, epoch) exactly — without materializing
+// or patching anything.
+func (s *Session) viewFresh(g *generation) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cached != nil && s.cachedGen == s.db.docGen &&
-		s.cachedVer == s.db.doc.Version() && s.cachedEpoch == s.db.policyEpoch
+	e := s.entry
+	return e != nil && e.gen == g.docGen && e.ver == g.ver() && e.epoch == g.epoch
 }
 
 // QueryValue evaluates an XPath expression that may yield an atomic value
@@ -976,9 +981,16 @@ func (s *Session) QueryValueTiered(path string) (xpath.Value, Tier, error) {
 // ladder (see QueryTieredCtx). Atomic values are served by the first tier
 // that succeeds; a non-empty node-set forces the view tier.
 func (s *Session) QueryValueTieredCtx(ctx context.Context, path string) (xpath.Value, Tier, error) {
+	return s.QueryValueTierCtx(ctx, path, TierAuto)
+}
+
+// QueryValueTierCtx is QueryValueTieredCtx with the ladder pinned to one
+// tier (see QueryTierCtx). A pinned rewrite or qfilter query whose value
+// is a non-empty node-set fails with ErrTierUnavailable: only the view
+// tier may hand out node-sets without leaking hidden labels.
+func (s *Session) QueryValueTierCtx(ctx context.Context, path string, forced Tier) (xpath.Value, Tier, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_query_value", valueStage)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
+	g := s.db.gen()
 	fail := func(tier Tier, err error) (xpath.Value, Tier, error) {
 		sessionOp("query_value", "error")
 		s.db.recordCtx(ctx, "query_value", s.user, path, "error: "+err.Error(), sp.End())
@@ -994,47 +1006,62 @@ func (s *Session) QueryValueTieredCtx(ctx context.Context, path string) (xpath.V
 
 	// Tier 1: static rewrite.
 	nodeSetValue := false
-	if pg, _ := s.db.rewriteEngine().ProgramFor(s.user); pg != nil {
-		pl, err := pg.PlanFor(path)
-		if err != nil {
-			return fail(TierRewrite, err)
-		}
-		if pl.Mode == rewrite.PlanEmpty {
-			// Empty plans only arise from path expressions, whose value is
-			// a node-set — here the provably empty one.
-			return done(TierRewrite, xpath.NodeSet(nil))
-		}
-		var sec *xpath.Security
-		var st *rewrite.EvalState
-		if pl.Mode == rewrite.PlanGuarded {
-			sec, st = pg.Security(s.vars())
-		}
-		_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
-		val, err := pl.Eval(s.db.doc.Root(), s.vars(), sec)
-		xe.End()
-		stErr := error(nil)
-		if st != nil {
-			stErr = st.Err()
-		}
-		switch {
-		case err != nil || stErr != nil:
-			rewrite.CountFallback(rewrite.ReasonEvalError)
-		default:
-			if ns, ok := val.(xpath.NodeSet); ok && len(ns) > 0 {
-				nodeSetValue = true
-				rewrite.CountFallback(rewrite.ReasonNodeSetValue)
-			} else {
-				return done(TierRewrite, val)
+	if forced == TierAuto || forced == TierRewrite {
+		if pg, _ := s.db.rewriteEngineFor(g).ProgramFor(s.user); pg != nil {
+			pl, err := pg.PlanFor(path)
+			if err != nil {
+				return fail(TierRewrite, err)
+			}
+			if pl.Mode == rewrite.PlanEmpty {
+				// Empty plans only arise from path expressions, whose value is
+				// a node-set — here the provably empty one.
+				return done(TierRewrite, xpath.NodeSet(nil))
+			}
+			var sec *xpath.Security
+			var st *rewrite.EvalState
+			if pl.Mode == rewrite.PlanGuarded {
+				sec, st = pg.SecurityFor(s.user, s.vars(), g.doc)
+			}
+			_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
+			val, err := pl.Eval(g.doc.Root(), s.vars(), sec)
+			xe.End()
+			stErr := error(nil)
+			if st != nil {
+				stErr = st.Err()
+			}
+			switch {
+			case err != nil || stErr != nil:
+				rewrite.CountFallback(rewrite.ReasonEvalError)
+				if forced == TierRewrite {
+					if err == nil {
+						err = stErr
+					}
+					return fail(TierRewrite, err)
+				}
+			default:
+				if ns, ok := val.(xpath.NodeSet); ok && len(ns) > 0 {
+					nodeSetValue = true
+					rewrite.CountFallback(rewrite.ReasonNodeSetValue)
+					if forced == TierRewrite {
+						return fail(TierRewrite, fmt.Errorf("%w: non-empty node-set values must come from the view tier", ErrTierUnavailable))
+					}
+				} else {
+					return done(TierRewrite, val)
+				}
+			}
+		} else {
+			rewrite.CountFallback(rewrite.ReasonRuleFragment)
+			if forced == TierRewrite {
+				return fail(TierRewrite, fmt.Errorf("%w: policy outside the rewrite fragment for %q", ErrTierUnavailable, s.user))
 			}
 		}
-	} else {
-		rewrite.CountFallback(rewrite.ReasonRuleFragment)
 	}
 
 	// Tier 2: qfilter — pointless for node-set values (it would also
-	// produce source nodes) and skipped when the cached view is current.
-	if !nodeSetValue && !s.viewFresh() {
-		pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+	// produce source nodes) and skipped when the cached view is current
+	// (unless pinned, which also bypasses the freshness shortcut).
+	if forced == TierQfilter || (forced == TierAuto && !nodeSetValue && !s.viewFresh(g)) {
+		pm, err := g.policy.EvaluateSharedCtx(ctx, g.doc, g.subjects, s.user, g.ruleCache())
 		if err != nil {
 			return fail(TierQfilter, err)
 		}
@@ -1043,7 +1070,7 @@ func (s *Session) QueryValueTieredCtx(ctx context.Context, path string) (xpath.V
 			return fail(TierQfilter, err)
 		}
 		_, xe := obs.StartSpanCtx(ctx, "xpath_eval", xpathStage)
-		val, err := c.EvalFiltered(s.db.doc.Root(), s.vars(), qfilter.ForPerms(pm))
+		val, err := c.EvalFiltered(g.doc.Root(), s.vars(), qfilter.ForPerms(pm))
 		xe.End()
 		if err != nil {
 			return fail(TierQfilter, err)
@@ -1051,10 +1078,13 @@ func (s *Session) QueryValueTieredCtx(ctx context.Context, path string) (xpath.V
 		if ns, ok := val.(xpath.NodeSet); !ok || len(ns) == 0 {
 			return done(TierQfilter, val)
 		}
+		if forced == TierQfilter {
+			return fail(TierQfilter, fmt.Errorf("%w: non-empty node-set values must come from the view tier", ErrTierUnavailable))
+		}
 	}
 
 	// Tier 3: the materialized view.
-	v, err := s.currentView(ctx)
+	v, err := s.currentView(ctx, g)
 	if err != nil {
 		return fail(TierView, err)
 	}
@@ -1073,6 +1103,9 @@ func (s *Session) QueryValueTieredCtx(ctx context.Context, path string) (xpath.V
 
 // recordCtx is record with the context's request ID and a duration.
 func (db *Database) recordCtx(ctx context.Context, action, user, detail, outcome string, d time.Duration) {
+	if db.auditLimit == 0 {
+		return
+	}
 	db.auditMu.Lock()
 	db.recordFull(user, action, detail, outcome, obs.RequestID(ctx), d)
 	db.auditMu.Unlock()
@@ -1106,27 +1139,38 @@ func (s *Session) journalOp(ctx context.Context, op *xupdate.Op) error {
 	return err
 }
 
+// updateWithVars executes one secured operation through the group-commit
+// queue. The closure runs on the commit leader's goroutine against the
+// round's scratch document clone; the span therefore measures queue wait
+// plus execution, which is the latency the caller actually experiences.
 func (s *Session) updateWithVars(ctx context.Context, op *xupdate.Op, extra xpath.Vars) (*xupdate.Result, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_update", updateStage)
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
-	fromVer := s.db.doc.Version()
-	res, _, err := access.ExecuteWithVarsCtx(ctx, s.db.doc, s.db.subjects, s.db.policy, s.user, op, extra)
+	var res *xupdate.Result
+	var err error
+	s.db.submit(func(c *commitCtx) {
+		doc := c.mutableDoc()
+		fromVer := doc.Version()
+		res, _, err = access.ExecuteWithVarsCtx(ctx, doc, c.curSubjects(), c.curPolicy(), s.user, op, extra)
+		if err != nil {
+			// A failed executor may have partially mutated the scratch
+			// document; no batch is recorded, so if the round still
+			// publishes (another write succeeded), the version gap forces
+			// session caches to re-materialize (deltaChain reports it).
+			sessionOp("update", "error")
+			s.db.recordCtx(ctx, "update", s.user, opDetail(op), "error: "+err.Error(), sp.End())
+			return
+		}
+		if toVer := doc.Version(); toVer != fromVer {
+			c.batches = append(c.batches, deltaBatch{fromVer: fromVer, toVer: toVer, deltas: res.Deltas})
+		}
+		sessionOp("update", "ok")
+		s.db.recordCtx(ctx, "update", s.user, opDetail(op),
+			fmt.Sprintf("selected=%d applied=%d skipped=%d", res.Selected, res.Applied, len(res.Skipped)),
+			sp.End())
+	})
 	if err != nil {
-		// A failed executor may have partially mutated the document; no
-		// batch is recorded, so the version gap forces session caches to
-		// re-materialize (deltaChain reports the gap).
-		sessionOp("update", "error")
-		s.db.recordCtx(ctx, "update", s.user, opDetail(op), "error: "+err.Error(), sp.End())
 		return nil, err
 	}
-	if toVer := s.db.doc.Version(); toVer != fromVer {
-		s.db.pushDeltaBatch(fromVer, toVer, res.Deltas)
-	}
-	sessionOp("update", "ok")
-	s.db.recordCtx(ctx, "update", s.user, opDetail(op),
-		fmt.Sprintf("selected=%d applied=%d skipped=%d", res.Selected, res.Applied, len(res.Skipped)),
-		sp.End())
 	return res, nil
 }
 
@@ -1288,15 +1332,14 @@ func (s *Session) TransformCtx(ctx context.Context, stylesheet string) (string, 
 		sessionOp("transform", "error")
 		return "", err
 	}
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	pm, err := s.db.policy.EvaluateSharedCtx(ctx, s.db.doc, s.db.subjects, s.user, s.db.sharedRuleCache())
+	g := s.db.gen()
+	pm, err := g.policy.EvaluateSharedCtx(ctx, g.doc, g.subjects, s.user, g.ruleCache())
 	if err != nil {
 		sp.End()
 		sessionOp("transform", "error")
 		return "", err
 	}
-	out, err := sheet.TransformString(s.db.doc, s.vars(), qfilter.ForPerms(pm))
+	out, err := sheet.TransformString(g.doc, s.vars(), qfilter.ForPerms(pm))
 	if err != nil {
 		sessionOp("transform", "error")
 		s.db.recordCtx(ctx, "transform", s.user, "stylesheet", "error: "+err.Error(), sp.End())

@@ -78,21 +78,23 @@ func (s *Session) Explain(path string) (*Explanation, error) {
 // ExplainCtx is Explain with a request context.
 func (s *Session) ExplainCtx(ctx context.Context, path string) (*Explanation, error) {
 	ctx, sp := obs.StartSpanCtx(ctx, "session_explain", explainStage)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	v, pm, err := s.currentViewPerms(ctx)
+	// Pin one generation for the whole explanation: the view, the
+	// permission cells and the re-derived story all come from the same
+	// snapshot even while commits land concurrently.
+	g := s.db.gen()
+	v, pm, err := s.currentViewPerms(ctx, g)
 	if err != nil {
 		sessionOp("explain", "error")
 		s.db.recordCtx(ctx, "explain", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
-	ns, err := xpath.Select(s.db.doc, path, s.vars())
+	ns, err := xpath.Select(g.doc, path, s.vars())
 	if err != nil {
 		sessionOp("explain", "error")
 		s.db.recordCtx(ctx, "explain", s.user, path, "error: "+err.Error(), sp.End())
 		return nil, err
 	}
-	stories, applicable, err := s.db.policy.Explain(s.db.doc, s.db.subjects, s.user, ns)
+	stories, applicable, err := g.policy.Explain(g.doc, g.subjects, s.user, ns)
 	if err != nil {
 		sessionOp("explain", "error")
 		s.db.recordCtx(ctx, "explain", s.user, path, "error: "+err.Error(), sp.End())
@@ -100,7 +102,7 @@ func (s *Session) ExplainCtx(ctx context.Context, path string) (*Explanation, er
 	}
 	ex := &Explanation{
 		User: s.user, XPath: path,
-		DocVersion: s.db.doc.Version(), PolicyEpoch: s.db.policyEpoch,
+		DocVersion: g.ver(), PolicyEpoch: g.epoch,
 		RulesApplicable: applicable,
 		Nodes:           make([]NodeExplanation, 0, len(ns)),
 		Consistent:      true,

@@ -20,9 +20,7 @@ var warmPoolActive = obs.Default().Gauge("xmlsec_warm_pool_active")
 // rule cache, making every other user's warm-up cheap.
 func (s *Session) Warm(ctx context.Context) error {
 	start := time.Now()
-	s.db.mu.RLock()
-	_, err := s.currentView(ctx)
-	s.db.mu.RUnlock()
+	_, err := s.currentView(ctx, s.db.gen())
 	if err != nil {
 		sessionOp("warm", "error")
 		s.db.recordCtx(ctx, "warm", s.user, "", "error: "+err.Error(), time.Since(start))

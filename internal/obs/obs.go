@@ -33,6 +33,11 @@ var LatencyBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// SizeBuckets are the default histogram bounds for small count
+// distributions (group-commit batch sizes, queue depths): powers of two
+// from 1 to 256.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // Counter is a monotonically increasing metric.
 type Counter struct{ v atomic.Uint64 }
 

@@ -299,6 +299,28 @@ func (pm *Perms) Has(n *xmltree.Node, priv Privilege) bool {
 	return pm.HasID(n.ID().String(), priv)
 }
 
+// Clone returns a private deep copy of the permission relation, with any
+// shared RuleCache map and $USER overlay flattened into an owned grants
+// map. The copy is safe to hand to the incremental maintainer (whose
+// Rescore/Forget mutate in place) while other readers keep using the
+// original — the copy-on-write session caches patch a Clone and swap it in
+// rather than mutating a published Perms.
+func (pm *Perms) Clone() *Perms {
+	c := &Perms{user: pm.user, version: pm.version}
+	c.grants = make(map[string]uint8, len(pm.grants))
+	for id, mask := range pm.grants {
+		c.grants[id] = mask
+	}
+	for id, mask := range pm.overlay {
+		if mask == 0 {
+			delete(c.grants, id)
+		} else {
+			c.grants[id] = mask
+		}
+	}
+	return c
+}
+
 // HasID reports perm(user, id, priv) by node identifier.
 func (pm *Perms) HasID(id string, priv Privilege) bool {
 	mask, inOverlay := pm.overlay[id]

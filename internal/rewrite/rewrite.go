@@ -221,6 +221,9 @@ type Program struct {
 
 	mu    sync.Mutex
 	plans map[string]*Plan
+
+	secMu sync.Mutex
+	secs  map[string]*userSec
 }
 
 // buildProgram compiles the profile selected by idx, or returns nil when
@@ -413,60 +416,53 @@ type EvalState struct{ err error }
 // Err returns the first matcher error, if any.
 func (st *EvalState) Err() error { return st.err }
 
-// Security builds the chain-derived filter for one evaluation with the
-// given variable bindings ($USER must be bound). Visibility and labels
-// re-run the axiom-14 latest-priority merge for {read, position} per node,
-// memoized for the evaluation; a node is visible with read or position
-// (axioms 16–17) and shows its own label only with read. The document
-// node is always visible with its own label (axiom 15).
-//
-// The returned Security and state are single-use and single-goroutine:
-// the memo is not locked.
-func (pg *Program) Security(vars xpath.Vars) (*xpath.Security, *EvalState) {
-	const (
-		maskPosition = 1 << 0
-		maskRead     = 1 << 1
-	)
-	st := &EvalState{}
-	memo := make(map[*xmltree.Node]uint8)
-	mask := func(n *xmltree.Node) uint8 {
-		if m, ok := memo[n]; ok {
-			return m
+// Visibility mask bits: position admits a node into the view with the
+// RESTRICTED label (axiom 17), read with its own label (axiom 16).
+const (
+	maskPosition = 1 << 0
+	maskRead     = 1 << 1
+)
+
+// ruleMask re-runs the axiom-14 latest-priority merge for {read, position}
+// on one node and folds the two surviving decisions into a visibility
+// mask. It is the single source of truth for both the per-evaluation
+// Security memo and the cross-request SecurityFor cache.
+func (pg *Program) ruleMask(n *xmltree.Node, vars xpath.Vars) (uint8, error) {
+	var posSet, readSet bool
+	var posEff, readEff policy.Effect
+	// Ascending priority: a later match overwrites, so the survivor
+	// is the latest-priority decision (axiom 14).
+	for i := range pg.rules {
+		ri := &pg.rules[i]
+		ok, err := ri.matcher.Match(n, vars)
+		if err != nil {
+			return 0, fmt.Errorf("rewrite: %s: %w", ri.text, err)
 		}
-		var posSet, readSet bool
-		var posEff, readEff policy.Effect
-		// Ascending priority: a later match overwrites, so the survivor
-		// is the latest-priority decision (axiom 14).
-		for i := range pg.rules {
-			ri := &pg.rules[i]
-			ok, err := ri.matcher.Match(n, vars)
-			if err != nil {
-				if st.err == nil {
-					st.err = fmt.Errorf("rewrite: %s: %w", ri.text, err)
-				}
-				memo[n] = 0
-				return 0
-			}
-			if !ok {
-				continue
-			}
-			if ri.priv == policy.Read {
-				readSet, readEff = true, ri.effect
-			} else {
-				posSet, posEff = true, ri.effect
-			}
+		if !ok {
+			continue
 		}
-		var m uint8
-		if posSet && posEff == policy.Accept {
-			m |= maskPosition
+		if ri.priv == policy.Read {
+			readSet, readEff = true, ri.effect
+		} else {
+			posSet, posEff = true, ri.effect
 		}
-		if readSet && readEff == policy.Accept {
-			m |= maskRead
-		}
-		memo[n] = m
-		return m
 	}
-	sec := &xpath.Security{
+	var m uint8
+	if posSet && posEff == policy.Accept {
+		m |= maskPosition
+	}
+	if readSet && readEff == policy.Accept {
+		m |= maskRead
+	}
+	return m, nil
+}
+
+// secFromMask wraps a mask function into the xpath filter: a node is
+// visible with read or position (axioms 16–17) and shows its own label
+// only with read; the document node is always visible with its own label
+// (axiom 15).
+func secFromMask(mask func(*xmltree.Node) uint8) *xpath.Security {
+	return &xpath.Security{
 		Visible: func(n *xmltree.Node) bool {
 			if n.Kind() == xmltree.KindDocument {
 				return true
@@ -483,5 +479,87 @@ func (pg *Program) Security(vars xpath.Vars) (*xpath.Security, *EvalState) {
 			return xmltree.Restricted
 		},
 	}
-	return sec, st
+}
+
+// Security builds the chain-derived filter for one evaluation with the
+// given variable bindings ($USER must be bound). Visibility and labels
+// re-run the axiom-14 latest-priority merge for {read, position} per node,
+// memoized for the evaluation; a node is visible with read or position
+// (axioms 16–17) and shows its own label only with read. The document
+// node is always visible with its own label (axiom 15).
+//
+// The returned Security and state are single-use and single-goroutine:
+// the memo is not locked. For a memo that survives the evaluation and is
+// shared across concurrent requests, use SecurityFor.
+func (pg *Program) Security(vars xpath.Vars) (*xpath.Security, *EvalState) {
+	st := &EvalState{}
+	memo := make(map[*xmltree.Node]uint8)
+	mask := func(n *xmltree.Node) uint8 {
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m, err := pg.ruleMask(n, vars)
+		if err != nil && st.err == nil {
+			st.err = err
+		}
+		memo[n] = m
+		return m
+	}
+	return secFromMask(mask), st
+}
+
+// userSec is one user's cross-request mask memo, valid for exactly one
+// source-document snapshot. Frozen snapshots make node identity stable, so
+// the memo never needs invalidation finer than "the snapshot moved" — the
+// whole entry is replaced then. The sync.Map is safe for the concurrent
+// readers of one generation.
+type userSec struct {
+	snap *xmltree.Document
+	memo sync.Map // *xmltree.Node → uint8
+}
+
+// secCacheCap bounds the per-program user cache; when the population of
+// distinct users outgrows it the whole cache is reset rather than evicted
+// piecewise (rebuilding a memo costs one rule sweep per visited node).
+const secCacheCap = 4096
+
+// SecurityFor is Security with a memo shared across requests: masks
+// computed for (user, snapshot) are reused by every concurrent evaluation
+// of the same user against the same frozen document, so the axiom-14 rule
+// sweep runs once per visited node per generation instead of once per
+// request. Programs are already built per policy epoch, so the (user,
+// epoch) keying the issue asks for falls out of (Program, user); the
+// snapshot pointer invalidates the memo across document generations.
+//
+// vars must carry the user's own bindings only ($USER) — the memo is keyed
+// by user identity, so request-specific bindings would poison it. The
+// returned Security is safe for concurrent use; the EvalState is per-call.
+// Matcher errors are reported through the state and never memoized.
+func (pg *Program) SecurityFor(user string, vars xpath.Vars, snap *xmltree.Document) (*xpath.Security, *EvalState) {
+	pg.secMu.Lock()
+	if pg.secs == nil || len(pg.secs) >= secCacheCap {
+		pg.secs = make(map[string]*userSec)
+	}
+	e := pg.secs[user]
+	if e == nil || e.snap != snap {
+		e = &userSec{snap: snap}
+		pg.secs[user] = e
+	}
+	pg.secMu.Unlock()
+	st := &EvalState{}
+	mask := func(n *xmltree.Node) uint8 {
+		if m, ok := e.memo.Load(n); ok {
+			return m.(uint8)
+		}
+		m, err := pg.ruleMask(n, vars)
+		if err != nil {
+			if st.err == nil {
+				st.err = err
+			}
+			return 0
+		}
+		e.memo.Store(n, m)
+		return m
+	}
+	return secFromMask(mask), st
 }

@@ -1,0 +1,225 @@
+// SecurityFor cache behavior: the cross-request mask memo is shared per
+// (user, snapshot), replaced when the snapshot moves, reset when the user
+// population outgrows the cap, and never poisoned by matcher errors.
+// White-box (package rewrite) so the tests can inspect the cache entries
+// and pre-seed the shared memo to prove reads actually come from it.
+package rewrite
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"securexml/internal/policy"
+	"securexml/internal/xmltree"
+	"securexml/internal/xpath"
+)
+
+func securityForDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(
+		"<patients><p0><service>oncology</service><diagnosis>flu</diagnosis></p0></patients>",
+		xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func userVars(user string) xpath.Vars {
+	return xpath.Vars{"USER": xpath.String(user)}
+}
+
+func findLabeled(d *xmltree.Document, label string) *xmltree.Node {
+	var out *xmltree.Node
+	d.Root().Walk(func(n *xmltree.Node) bool {
+		if out == nil && n.Label() == label {
+			out = n
+		}
+		return out == nil
+	})
+	return out
+}
+
+// TestSecurityForSharesMemoPerUserAndSnapshot: two calls for the same
+// (user, snapshot) hit one cache entry, and the second call reads masks
+// from the shared memo rather than re-running the rule sweep — proven by
+// seeding the memo with a deliberately wrong mask between the calls.
+func TestSecurityForSharesMemoPerUserAndSnapshot(t *testing.T) {
+	h := testHierarchy(t)
+	eng := NewEngine(singleRulePolicy(t, h, "//service"), h)
+	pg, _ := eng.ProgramFor("laporte")
+	if pg == nil {
+		t.Fatal("chain-only profile fell back")
+	}
+	d := securityForDoc(t)
+	svc := findLabeled(d, "service")
+	if svc == nil {
+		t.Fatal("no service node")
+	}
+
+	sec1, st1 := pg.SecurityFor("laporte", userVars("laporte"), d)
+	if !sec1.Visible(svc) {
+		t.Fatal("service should be visible under the accept-read rule")
+	}
+	if err := st1.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg.secMu.Lock()
+	e := pg.secs["laporte"]
+	pg.secMu.Unlock()
+	if e == nil || e.snap != d {
+		t.Fatal("cache entry missing or keyed to the wrong snapshot")
+	}
+	if _, ok := e.memo.Load(svc); !ok {
+		t.Fatal("first evaluation did not populate the shared memo")
+	}
+
+	// Poison the shared memo: if the second call consults it (as it must),
+	// the node turns invisible; if it re-ran the rule sweep the poison
+	// would be overwritten and the node would stay visible.
+	e.memo.Store(svc, uint8(0))
+	sec2, _ := pg.SecurityFor("laporte", userVars("laporte"), d)
+	if sec2.Visible(svc) {
+		t.Fatal("second call re-computed the mask: memo is not shared across calls")
+	}
+}
+
+// TestSecurityForInvalidatesOnSnapshotMove: a new document pointer replaces
+// the user's entry wholesale; stale masks from the old snapshot are gone.
+func TestSecurityForInvalidatesOnSnapshotMove(t *testing.T) {
+	h := testHierarchy(t)
+	eng := NewEngine(singleRulePolicy(t, h, "//service"), h)
+	pg, _ := eng.ProgramFor("laporte")
+	if pg == nil {
+		t.Fatal("chain-only profile fell back")
+	}
+	d1 := securityForDoc(t)
+	sec, _ := pg.SecurityFor("laporte", userVars("laporte"), d1)
+	sec.Visible(d1.RootElement())
+
+	pg.secMu.Lock()
+	e1 := pg.secs["laporte"]
+	pg.secMu.Unlock()
+
+	d2 := d1.Clone()
+	pg.SecurityFor("laporte", userVars("laporte"), d2)
+	pg.secMu.Lock()
+	e2 := pg.secs["laporte"]
+	pg.secMu.Unlock()
+	if e2 == e1 {
+		t.Fatal("snapshot moved but the cache entry was reused")
+	}
+	if e2.snap != d2 {
+		t.Fatalf("entry snap = %p, want %p", e2.snap, d2)
+	}
+}
+
+// TestSecurityForErrorNotMemoized: a matcher error (unbound $USER) reports
+// through the per-call EvalState and leaves no mask behind, so a later
+// correct call is not served a poisoned zero.
+func TestSecurityForErrorNotMemoized(t *testing.T) {
+	h := testHierarchy(t)
+	p := policy.New()
+	err := p.Add(h, policy.Rule{
+		Effect: policy.Accept, Privilege: policy.Read,
+		Path: "/patients/*[name() = $USER]//node()", Subject: "staff", Priority: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, reason := NewEngine(p, h).ProgramFor("laporte")
+	if pg == nil {
+		t.Fatalf("profile fell back: %v", reason)
+	}
+	d := securityForDoc(t)
+	svc := findLabeled(d, "service")
+	if svc == nil {
+		t.Fatal("no service node")
+	}
+
+	// First call binds no variables, so every matcher errors; the mask for
+	// svc must NOT enter the shared memo as a bogus zero.
+	sec, st := pg.SecurityFor("p0", xpath.Vars{}, d)
+	sec.Visible(svc)
+	if st.Err() == nil {
+		t.Fatal("unbound $USER should surface a matcher error")
+	}
+	pg.secMu.Lock()
+	e := pg.secs["p0"]
+	pg.secMu.Unlock()
+	if _, ok := e.memo.Load(svc); ok {
+		t.Fatal("errored evaluation must not memoize a mask")
+	}
+
+	// Same user, same snapshot — same entry. With $USER bound, the rule
+	// matches p0's descendants, so svc is visible; a memoized zero from the
+	// errored call would wrongly hide it.
+	sec2, st2 := pg.SecurityFor("p0", userVars("p0"), d)
+	if !sec2.Visible(svc) {
+		t.Fatal("p0 should see the contents of its own subtree")
+	}
+	if err := st2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSecurityForCacheReset: the user map never exceeds the cap; crossing
+// it resets the cache instead of evicting piecewise.
+func TestSecurityForCacheReset(t *testing.T) {
+	h := testHierarchy(t)
+	eng := NewEngine(singleRulePolicy(t, h, "//service"), h)
+	pg, _ := eng.ProgramFor("laporte")
+	if pg == nil {
+		t.Fatal("chain-only profile fell back")
+	}
+	d := securityForDoc(t)
+	for i := 0; i <= secCacheCap; i++ {
+		u := fmt.Sprintf("u%d", i)
+		pg.SecurityFor(u, userVars(u), d)
+		pg.secMu.Lock()
+		n := len(pg.secs)
+		pg.secMu.Unlock()
+		if n > secCacheCap {
+			t.Fatalf("cache grew to %d entries, cap is %d", n, secCacheCap)
+		}
+	}
+	pg.secMu.Lock()
+	n := len(pg.secs)
+	pg.secMu.Unlock()
+	if n != 1 {
+		t.Fatalf("after crossing the cap the cache should hold only the newest user, got %d", n)
+	}
+}
+
+// TestSecurityForConcurrent: many goroutines share one (user, snapshot)
+// memo; run under -race this pins the sync.Map discipline.
+func TestSecurityForConcurrent(t *testing.T) {
+	h := testHierarchy(t)
+	eng := NewEngine(singleRulePolicy(t, h, "//service"), h)
+	pg, _ := eng.ProgramFor("laporte")
+	if pg == nil {
+		t.Fatal("chain-only profile fell back")
+	}
+	d := securityForDoc(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sec, st := pg.SecurityFor("laporte", userVars("laporte"), d)
+				d.Root().Walk(func(n *xmltree.Node) bool {
+					sec.Visible(n)
+					sec.Label(n)
+					return true
+				})
+				if err := st.Err(); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -56,13 +56,14 @@ const defaultSlowTrace = 500 * time.Millisecond
 
 // Server is an http.Handler over one Database.
 type Server struct {
-	db        *core.Database
-	mux       *http.ServeMux
-	reg       *obs.Registry
-	tracer    *obs.Tracer
-	slowTrace time.Duration
-	accessLog *slog.Logger
-	pprof     bool
+	db         *core.Database
+	mux        *http.ServeMux
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	slowTrace  time.Duration
+	accessLog  *slog.Logger
+	pprof      bool
+	forcedTier core.Tier
 }
 
 // Option configures the server.
@@ -89,9 +90,17 @@ func WithSlowTraceThreshold(d time.Duration) Option {
 	return func(s *Server) { s.slowTrace = d }
 }
 
+// WithForcedTier pins every /query and /value request to one read-ladder
+// tier instead of the normal descent (A/B debugging and benchmarking). A
+// query the pinned tier cannot serve fails with 409 Conflict rather than
+// falling through; the served tier is still reported in X-Query-Tier.
+func WithForcedTier(t core.Tier) Option {
+	return func(s *Server) { s.forcedTier = t }
+}
+
 // New builds the handler.
 func New(db *core.Database, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), reg: obs.Default(), slowTrace: defaultSlowTrace}
+	s := &Server{db: db, mux: http.NewServeMux(), reg: obs.Default(), slowTrace: defaultSlowTrace, forcedTier: core.TierAuto}
 	for _, o := range opts {
 		o(s)
 	}
@@ -229,6 +238,10 @@ func statusFor(err error, fallback int) int {
 		return http.StatusForbidden
 	case errors.As(err, &syn), errors.Is(err, xpath.ErrNotNodeSet):
 		return http.StatusBadRequest
+	case errors.Is(err, core.ErrTierUnavailable):
+		// The operator pinned a tier this query cannot be served from: the
+		// request conflicts with the server's -tier configuration.
+		return http.StatusConflict
 	}
 	return fallback
 }
@@ -278,7 +291,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, session *co
 		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
 		return
 	}
-	results, tier, err := session.QueryTieredCtx(r.Context(), expr)
+	results, tier, err := session.QueryTierCtx(r.Context(), expr, s.forcedTier)
 	if err != nil {
 		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return
@@ -296,7 +309,7 @@ func (s *Server) handleValue(w http.ResponseWriter, r *http.Request, session *co
 		s.httpError(w, r, errors.New("missing xpath parameter"), http.StatusBadRequest)
 		return
 	}
-	v, tier, err := session.QueryValueTieredCtx(r.Context(), expr)
+	v, tier, err := session.QueryValueTierCtx(r.Context(), expr, s.forcedTier)
 	if err != nil {
 		s.httpError(w, r, err, statusFor(err, http.StatusBadRequest))
 		return

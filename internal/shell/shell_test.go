@@ -324,3 +324,31 @@ func TestLintFixCommand(t *testing.T) {
 		t.Errorf("lint -fix printed no repair: %q", out)
 	}
 }
+
+func TestTierCommand(t *testing.T) {
+	out := run(t,
+		"tier",
+		"tier view",
+		"login laporte",
+		"query //service",
+		"tier rewrite",
+		"query //service",
+		// A non-empty node-set value cannot be served by a pinned rewrite
+		// tier (it would leak source nodes).
+		"!value //service",
+		"tier auto",
+		"value //service",
+		"!tier bogus",
+	)
+	for _, want := range []string{
+		"tier: auto\n",
+		"tier: view (pinned)\n",
+		"[view]",
+		"tier: rewrite (pinned)\n",
+		"[rewrite]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -29,6 +29,15 @@ import (
 // taint: edits to a private copy are the sanctioned pattern. The owning
 // packages internal/core and internal/view are exempt — maintaining the
 // snapshot is their job.
+//
+// Generation roots (S29) carry the same contract with a dynamic twin:
+// every document published in a copy-on-write generation is frozen
+// (xmltree.Document.Freeze), so its mutators return ErrFrozen at runtime.
+// This pass is the compile-time half — it catches snapshot writes before
+// they run — while the freeze bit catches whatever provenance tracking
+// cannot see (reflection, node handles laundered through interfaces).
+// Clone remains the single sanctioned escape on both halves: it always
+// returns an unfrozen, unshared copy.
 var snapshotimmutPass = &pass{
 	name: "snapshotimmut",
 	doc:  "in-place mutation of Session.View snapshots outside the owning packages",

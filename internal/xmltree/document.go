@@ -27,6 +27,7 @@ type Document struct {
 	names    map[string]map[*Node]struct{} // element-name index
 	version  uint64
 	fragment bool // fragments may carry several top-level nodes
+	frozen   bool // frozen documents reject every mutation (see Freeze)
 }
 
 // Errors returned by Document mutations.
@@ -35,6 +36,7 @@ var (
 	ErrDocumentNode    = errors.New("xmltree: operation not applicable to the document node")
 	ErrSecondRoot      = errors.New("xmltree: the document node already has a root element")
 	ErrAttributeTarget = errors.New("xmltree: operation not applicable to an attribute node")
+	ErrFrozen          = errors.New("xmltree: document is frozen (published snapshot generations are immutable; Clone first)")
 )
 
 // New creates an empty document (just the document node) using the given
@@ -437,11 +439,25 @@ func (d *Document) Remove(n *Node) error {
 }
 
 func (d *Document) checkOwned(n *Node) error {
+	if d.frozen {
+		return ErrFrozen
+	}
 	if n == nil || n.doc != d {
 		return ErrNotInDocument
 	}
 	return nil
 }
+
+// Freeze marks the document immutable: every subsequent mutation returns
+// ErrFrozen. The core package freezes a document when it is published as a
+// copy-on-write generation root (or as a cached view snapshot shared across
+// session readers); lock-free readers may then traverse it without any
+// synchronization beyond the atomic generation load. Freezing is one-way —
+// obtain a mutable tree with Clone, which always returns an unfrozen copy.
+func (d *Document) Freeze() { d.frozen = true }
+
+// Frozen reports whether the document has been frozen by Freeze.
+func (d *Document) Frozen() bool { return d.frozen }
 
 // --- fragments and grafting -------------------------------------------------
 
@@ -524,27 +540,66 @@ func (d *Document) copyInto(dst, src *Node) error {
 // Clone returns a deep copy of the document. The copy preserves node
 // identifiers, so labels in the clone identify the same logical nodes; this
 // is what view materialization relies on to map view nodes back to source
-// nodes.
+// nodes. The copy is never frozen, regardless of the receiver: Clone is the
+// sanctioned way to obtain a mutable tree from a published generation root.
+//
+// Nodes are allocated from a single arena and the indexes are presized, so
+// cloning is one pass with O(1) allocations per node class — this is the
+// dominant cost of a group commit and is amortized across every write in
+// the batch.
 func (d *Document) Clone() *Document {
-	c := New(d.scheme)
-	c.version = d.version
-	cloneUnder(c, c.root, d.root)
+	n := len(d.index)
+	c := &Document{
+		scheme:   d.scheme,
+		index:    make(map[string]*Node, n),
+		names:    make(map[string]map[*Node]struct{}, len(d.names)),
+		version:  d.version,
+		fragment: d.fragment,
+	}
+	arena := make([]Node, 1, n)
+	c.root = &arena[0]
+	*c.root = Node{kind: KindDocument, label: "/", id: labeling.DocumentLabel, doc: c}
+	c.index["/"] = c.root
+	cloneUnder(c, &arena, c.root, d.root)
 	return c
 }
 
-func cloneUnder(c *Document, dst, src *Node) {
-	for _, a := range src.attrs {
-		na := &Node{kind: a.kind, label: a.label, id: a.id, parent: dst}
-		c.register(na)
-		dst.attrs = append(dst.attrs, na)
-		cloneUnder(c, na, a)
+func cloneUnder(c *Document, arena *[]Node, dst, src *Node) {
+	if len(src.attrs) > 0 {
+		dst.attrs = make([]*Node, 0, len(src.attrs))
+		for _, a := range src.attrs {
+			na := arenaNode(arena)
+			*na = Node{kind: a.kind, label: a.label, id: a.id, parent: dst}
+			c.register(na)
+			dst.attrs = append(dst.attrs, na)
+			cloneUnder(c, arena, na, a)
+		}
 	}
-	for _, k := range src.children {
-		nk := &Node{kind: k.kind, label: k.label, id: k.id, parent: dst}
-		c.register(nk)
-		dst.children = append(dst.children, nk)
-		cloneUnder(c, nk, k)
+	if len(src.children) > 0 {
+		dst.children = make([]*Node, 0, len(src.children))
+		for _, k := range src.children {
+			nk := arenaNode(arena)
+			*nk = Node{kind: k.kind, label: k.label, id: k.id, parent: dst}
+			c.register(nk)
+			dst.children = append(dst.children, nk)
+			cloneUnder(c, arena, nk, k)
+		}
 	}
+}
+
+// arenaNode hands out the next node from the arena, growing it in fresh
+// blocks when the presized capacity is exhausted (a document mutated after
+// sizing, or a fragment). Nodes already handed out are never moved — append
+// to a full arena would reallocate, so a new block is started instead.
+func arenaNode(arena *[]Node) *Node {
+	a := *arena
+	if len(a) == cap(a) {
+		a = make([]Node, 0, cap(a)+cap(a)/2+8)
+		*arena = a
+	}
+	a = append(a, Node{})
+	*arena = a
+	return &a[len(a)-1]
 }
 
 // Equal reports whether two documents are structurally identical: same

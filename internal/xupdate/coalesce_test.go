@@ -1,0 +1,157 @@
+package xupdate_test
+
+import (
+	"testing"
+
+	"securexml/internal/labeling"
+	"securexml/internal/workload"
+	"securexml/internal/xmltree"
+	"securexml/internal/xupdate"
+)
+
+// consumerState models how the incremental consumers read a delta stream
+// against the FINAL document: a remove forgets every swept identifier, a
+// relabel/insert rescores the whole surviving subtree rooted at NodeID
+// (view.Maintainer ignores NewLabel and re-derives from the source), and a
+// touch whose root is gone from the final document drops it defensively.
+// Two delta streams are equivalent iff they leave this state equal.
+func consumerState(t *testing.T, final *xmltree.Document, deltas []xupdate.Delta) map[string]string {
+	t.Helper()
+	state := make(map[string]string)
+	for _, d := range deltas {
+		if d.Kind == xupdate.DeltaRemove {
+			for _, id := range d.RemovedIDs {
+				state[id] = "forgotten"
+			}
+			continue
+		}
+		id, err := labeling.Parse(d.NodeID)
+		if err != nil {
+			t.Fatalf("bad delta id %q: %v", d.NodeID, err)
+		}
+		n := final.NodeByID(id)
+		if n == nil {
+			state[d.NodeID] = "dropped"
+			continue
+		}
+		n.Walk(func(m *xmltree.Node) bool {
+			state[m.ID().String()] = "rescored"
+			return true
+		})
+	}
+	return state
+}
+
+// TestCoalesceEquivalentToRawStream drives deterministic mixed op streams
+// against a hospital document, collects the raw delta sequence, and checks
+// that Coalesce (a) never changes the consumer-visible final state, (b)
+// keeps every remove verbatim and in order, and (c) preserves the relative
+// order of survivors.
+func TestCoalesceEquivalentToRawStream(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		doc, err := workload.Hospital(workload.HospitalConfig{Patients: 12, RecordsPerPatient: 3, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: hospital: %v", seed, err)
+		}
+		stream := workload.OpStream(workload.OpConfig{Doc: doc, Seed: seed})
+		var raw []xupdate.Delta
+		for i := 0; i < 400; i++ {
+			op, err := stream.Next()
+			if err != nil {
+				t.Fatalf("seed %d: op %d: %v", seed, i, err)
+			}
+			res, err := xupdate.Execute(doc, op, nil)
+			if err != nil {
+				// Stream ops can race their own removals; skip invalid ones.
+				continue
+			}
+			raw = append(raw, res.Deltas...)
+		}
+		if len(raw) == 0 {
+			t.Fatalf("seed %d: stream produced no deltas", seed)
+		}
+		co := xupdate.Coalesce(raw)
+		if len(co) > len(raw) {
+			t.Fatalf("seed %d: coalesce grew the stream: %d -> %d", seed, len(raw), len(co))
+		}
+
+		want := consumerState(t, doc, raw)
+		got := consumerState(t, doc, co)
+		if len(want) != len(got) {
+			t.Fatalf("seed %d: state size mismatch: raw %d, coalesced %d", seed, len(want), len(got))
+		}
+		for id, w := range want {
+			if got[id] != w {
+				t.Fatalf("seed %d: id %s: raw state %q, coalesced %q", seed, id, w, got[id])
+			}
+		}
+
+		// Every remove survives verbatim, in order.
+		var rawRm, coRm []xupdate.Delta
+		for _, d := range raw {
+			if d.Kind == xupdate.DeltaRemove {
+				rawRm = append(rawRm, d)
+			}
+		}
+		for _, d := range co {
+			if d.Kind == xupdate.DeltaRemove {
+				coRm = append(coRm, d)
+			}
+		}
+		if len(rawRm) != len(coRm) {
+			t.Fatalf("seed %d: removes not preserved: %d -> %d", seed, len(rawRm), len(coRm))
+		}
+		for i := range rawRm {
+			if rawRm[i].NodeID != coRm[i].NodeID || len(rawRm[i].RemovedIDs) != len(coRm[i].RemovedIDs) {
+				t.Fatalf("seed %d: remove %d altered by coalesce", seed, i)
+			}
+		}
+
+		// Survivor order: coalesced must be a subsequence of raw (removes
+		// anchor it; this checks the touches too).
+		j := 0
+		for i := 0; i < len(raw) && j < len(co); i++ {
+			if raw[i].Kind == co[j].Kind && raw[i].NodeID == co[j].NodeID && raw[i].NewLabel == co[j].NewLabel {
+				j++
+			}
+		}
+		if j != len(co) {
+			t.Fatalf("seed %d: coalesced stream is not a subsequence of the raw stream", seed)
+		}
+	}
+}
+
+// TestCoalesceDropsSupersededTouches pins the two hand-written cases the
+// group-commit merge relies on: duplicate relabels keep only the last, and
+// touches swept by a later remove disappear.
+func TestCoalesceDropsSupersededTouches(t *testing.T) {
+	ds := []xupdate.Delta{
+		{Kind: xupdate.DeltaRelabel, NodeID: "/a", NewLabel: "x"},
+		{Kind: xupdate.DeltaRelabel, NodeID: "/a", NewLabel: "y"},
+		{Kind: xupdate.DeltaInsert, NodeID: "/b"},
+		{Kind: xupdate.DeltaRemove, NodeID: "/b", RemovedIDs: []string{"/b", "/b/c"}},
+		{Kind: xupdate.DeltaRelabel, NodeID: "/a", NewLabel: "z"},
+	}
+	co := xupdate.Coalesce(ds)
+	want := []xupdate.Delta{
+		{Kind: xupdate.DeltaRemove, NodeID: "/b", RemovedIDs: []string{"/b", "/b/c"}},
+		{Kind: xupdate.DeltaRelabel, NodeID: "/a", NewLabel: "z"},
+	}
+	if len(co) != len(want) {
+		t.Fatalf("coalesced to %d deltas, want %d: %+v", len(co), len(want), co)
+	}
+	for i := range want {
+		if co[i].Kind != want[i].Kind || co[i].NodeID != want[i].NodeID || co[i].NewLabel != want[i].NewLabel {
+			t.Fatalf("delta %d = %+v, want %+v", i, co[i], want[i])
+		}
+	}
+	// Reuse after removal: the insert that re-creates a swept identifier
+	// must survive a PRECEDING remove.
+	reuse := []xupdate.Delta{
+		{Kind: xupdate.DeltaRemove, NodeID: "/a/b", RemovedIDs: []string{"/a/b"}},
+		{Kind: xupdate.DeltaInsert, NodeID: "/a/b"},
+	}
+	if co := xupdate.Coalesce(reuse); len(co) != 2 {
+		t.Fatalf("reused-id insert dropped: %+v", co)
+	}
+}
